@@ -1,0 +1,139 @@
+//! Exhaustive (whole-word) canary guessing, §III-C1.
+//!
+//! The most primitive strategy: guess the entire canary region in one shot
+//! and fire the full exploit.  The paper's analysis shows P-SSP is exactly as
+//! strong as SSP against this attacker — both force an expected 2⁶³ guesses —
+//! because the attacker effectively guesses the 64-bit TLS canary either way.
+//! For the split canary the attacker generates a random pair whose XOR equals
+//! the guess, mirroring the strategy described in the paper.
+
+use polycanary_core::scheme::SchemeKind;
+use polycanary_crypto::{Prng, Xoshiro256StarStar};
+
+use crate::oracle::OverflowOracle;
+use crate::stats::AttackResult;
+use crate::victim::{FrameGeometry, HIJACK_TARGET};
+
+/// Configuration of the exhaustive-guessing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustiveAttack {
+    /// Abort after this many oracle queries.
+    pub max_trials: u64,
+    /// Seed of the attacker's own randomness.
+    pub seed: u64,
+    /// The address the exploit diverts control flow to.
+    pub hijack_target: u64,
+}
+
+impl Default for ExhaustiveAttack {
+    fn default() -> Self {
+        ExhaustiveAttack { max_trials: 10_000, seed: 0xBAD_5EED, hijack_target: HIJACK_TARGET }
+    }
+}
+
+impl ExhaustiveAttack {
+    /// Creates the strategy with a custom trial budget.
+    pub fn with_budget(max_trials: u64) -> Self {
+        ExhaustiveAttack { max_trials, ..Self::default() }
+    }
+
+    /// Runs the campaign against `oracle`.
+    pub fn run(
+        &self,
+        oracle: &mut dyn OverflowOracle,
+        geometry: FrameGeometry,
+        scheme: SchemeKind,
+    ) -> AttackResult {
+        let mut rng = Xoshiro256StarStar::new(self.seed);
+        for trial in 1..=self.max_trials {
+            // Guess the TLS canary, then fabricate a canary-region image
+            // consistent with that guess: for a single-slot scheme this is
+            // the guess itself, for a split scheme a random pair XORing to
+            // the guess (§III-C1).
+            let guessed_tls_canary = rng.next_u64();
+            let mut region = Vec::with_capacity(geometry.canary_region_len);
+            let words = geometry.canary_region_len / 8;
+            let mut acc = guessed_tls_canary;
+            for w in 0..words {
+                let value = if w + 1 == words { acc } else { rng.next_u64() };
+                acc ^= value;
+                region.extend_from_slice(&value.to_le_bytes());
+            }
+
+            let mut payload = vec![0x41u8; geometry.filler_len];
+            payload.extend_from_slice(&region);
+            payload.extend_from_slice(&[0x41u8; 8]);
+            payload.extend_from_slice(&self.hijack_target.to_le_bytes());
+
+            if oracle.attempt(&payload).hijacked() {
+                return AttackResult {
+                    strategy: "exhaustive",
+                    scheme,
+                    success: true,
+                    trials: trial,
+                    recovered_canary: Some(region),
+                    final_outcome: None,
+                };
+            }
+        }
+        AttackResult::exhausted("exhaustive", scheme, self.max_trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::RequestOutcome;
+    use crate::victim::{ForkingServer, VictimConfig};
+
+    #[test]
+    fn both_ssp_and_pssp_resist_a_bounded_exhaustive_search() {
+        // §III-C1: P-SSP and SSP have identical strength against exhaustive
+        // search; with a realistic (64-bit) canary a small budget never wins.
+        for kind in [SchemeKind::Ssp, SchemeKind::Pssp] {
+            let mut server = ForkingServer::new(VictimConfig::new(kind, 33));
+            let geometry = server.geometry();
+            let result = ExhaustiveAttack::with_budget(300).run(&mut server, geometry, kind);
+            assert!(!result.success, "{kind} fell to a 300-trial exhaustive search");
+            assert_eq!(result.trials, 300);
+        }
+    }
+
+    #[test]
+    fn succeeds_immediately_against_an_unprotected_victim() {
+        let mut server = ForkingServer::new(VictimConfig::new(SchemeKind::Native, 33));
+        let geometry = server.geometry();
+        let result =
+            ExhaustiveAttack::with_budget(5).run(&mut server, geometry, SchemeKind::Native);
+        assert!(result.success);
+        assert_eq!(result.trials, 1);
+    }
+
+    #[test]
+    fn split_guess_is_internally_consistent() {
+        // The fabricated region for a two-word scheme must XOR to the guessed
+        // TLS canary — verify through a capturing oracle.
+        struct Capture {
+            last: Vec<u8>,
+            trials: u64,
+        }
+        impl OverflowOracle for Capture {
+            fn attempt(&mut self, payload: &[u8]) -> RequestOutcome {
+                self.last = payload.to_vec();
+                self.trials += 1;
+                RequestOutcome::Detected
+            }
+            fn trials(&self) -> u64 {
+                self.trials
+            }
+        }
+        let mut oracle = Capture { last: Vec::new(), trials: 0 };
+        let geometry = FrameGeometry { filler_len: 8, canary_region_len: 16 };
+        let _ = ExhaustiveAttack::with_budget(1).run(&mut oracle, geometry, SchemeKind::Pssp);
+        let region = &oracle.last[8..24];
+        let c1 = u64::from_le_bytes(region[..8].try_into().unwrap());
+        let c0 = u64::from_le_bytes(region[8..].try_into().unwrap());
+        // The two halves XOR to *some* 64-bit guess; they are not both zero.
+        assert_ne!(c0 ^ c1, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Attacker framework for the polycanary reproduction.
+//!
+//! The effectiveness claims of the paper (§II-B, §III-C, §VI-C) are about
+//! what a remote attacker can and cannot do against a forking network
+//! server.  This crate provides:
+//!
+//! * [`victim`] — the forking worker-per-request server with an unbounded
+//!   `strcpy`-style overflow (and, for the exposure experiments, an
+//!   over-read disclosure bug), protected by any scheme.
+//! * [`oracle`] — the attacker's crash/no-crash view of that server.
+//! * [`byte_by_byte`] — the BROP-style byte-by-byte attack that breaks SSP
+//!   in ~1024 requests and fails against P-SSP.
+//! * [`exhaustive`] — whole-word guessing, against which P-SSP and SSP are
+//!   equally strong.
+//! * [`reuse`] — the canary-disclosure-and-reuse attack that only
+//!   P-SSP-OWF survives.
+//!
+//! # Quick example
+//!
+//! ```
+//! use polycanary_attacks::byte_by_byte::ByteByByteAttack;
+//! use polycanary_attacks::victim::{ForkingServer, VictimConfig};
+//! use polycanary_core::scheme::SchemeKind;
+//!
+//! // The byte-by-byte attack breaks a classic-SSP server ...
+//! let mut ssp = ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 42));
+//! let geometry = ssp.geometry();
+//! let result = ByteByByteAttack::default().run(&mut ssp, geometry, SchemeKind::Ssp);
+//! assert!(result.success);
+//!
+//! // ... and fails against the same server compiled with P-SSP.
+//! let mut pssp = ForkingServer::new(VictimConfig::new(SchemeKind::Pssp, 42));
+//! let geometry = pssp.geometry();
+//! let result = ByteByByteAttack::with_budget(5_000).run(&mut pssp, geometry, SchemeKind::Pssp);
+//! assert!(!result.success);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byte_by_byte;
+pub mod exhaustive;
+pub mod oracle;
+pub mod reuse;
+pub mod stats;
+pub mod victim;
+
+pub use byte_by_byte::ByteByByteAttack;
+pub use exhaustive::ExhaustiveAttack;
+pub use oracle::{OverflowOracle, RequestOutcome};
+pub use reuse::CanaryReuseAttack;
+pub use stats::{AttackResult, AttackSummary};
+pub use victim::{Deployment, ForkingServer, FrameGeometry, VictimConfig, HIJACK_TARGET};

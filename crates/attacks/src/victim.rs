@@ -1,0 +1,377 @@
+//! Victim harness: a forking network server with a stack-overflow bug.
+//!
+//! The byte-by-byte attack of §II-B targets applications where "a parent
+//! process keeps forking out child processes to ... serve new requests sent
+//! by external entities", and where a crashed worker is simply replaced by a
+//! fresh fork.  [`ForkingServer`] models exactly that: each request is
+//! handled by a freshly forked worker whose `handle_request` function copies
+//! the attacker-controlled request body into a fixed-size stack buffer with
+//! no bounds check.
+
+use polycanary_compiler::codegen::Compiler;
+use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder, ModuleDef};
+use polycanary_core::scheme::SchemeKind;
+use polycanary_rewriter::{LinkMode, Rewriter};
+use polycanary_vm::cpu::Exit;
+use polycanary_vm::machine::Machine;
+use polycanary_vm::process::Process;
+
+use crate::oracle::{OverflowOracle, RequestOutcome};
+
+/// The return address the attacker tries to divert control flow to.
+pub const HIJACK_TARGET: u64 = 0x0BAD_C0DE_0000_1000;
+
+/// Geometry of the vulnerable frame, as the attacker (who has the binary,
+/// per the adversary model of §III-A) would derive it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameGeometry {
+    /// Bytes from the start of the vulnerable buffer up to the first canary
+    /// byte (filler the attacker must write before reaching the canary).
+    pub filler_len: usize,
+    /// Total size in bytes of the canary region between the buffer and the
+    /// saved frame pointer.
+    pub canary_region_len: usize,
+}
+
+impl FrameGeometry {
+    /// Total overwrite length needed to reach and replace the return address:
+    /// filler + canaries + saved `%rbp` + return address.
+    pub fn full_overwrite_len(&self) -> usize {
+        self.filler_len + self.canary_region_len + 8 + 8
+    }
+}
+
+/// How the victim binary was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Deployment {
+    /// Compiled with the scheme's compiler plugin.
+    #[default]
+    Compiler,
+    /// Compiled with classic SSP and then upgraded by the binary rewriter
+    /// (only meaningful together with [`SchemeKind::PsspBin32`]).
+    BinaryRewriter,
+}
+
+/// Configuration of a [`ForkingServer`] victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimConfig {
+    /// The protection scheme of the victim binary.
+    pub scheme: SchemeKind,
+    /// Size of the vulnerable stack buffer in bytes.
+    pub buffer_size: u32,
+    /// Deployment vehicle.
+    pub deployment: Deployment,
+    /// Seed for all randomness (loader canary, shared library, rdrand).
+    pub seed: u64,
+}
+
+impl VictimConfig {
+    /// A victim protected by `scheme` with the default 64-byte buffer.
+    pub fn new(scheme: SchemeKind, seed: u64) -> Self {
+        VictimConfig { scheme, buffer_size: 64, deployment: Deployment::Compiler, seed }
+    }
+
+    /// Selects the binary-rewriter deployment.
+    #[must_use]
+    pub fn with_deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// Overrides the vulnerable buffer size.
+    #[must_use]
+    pub fn with_buffer_size(mut self, size: u32) -> Self {
+        self.buffer_size = size;
+        self
+    }
+}
+
+/// The MiniC source of the victim server.
+fn victim_module(buffer_size: u32) -> ModuleDef {
+    ModuleBuilder::new()
+        .function(
+            FunctionBuilder::new("handle_request")
+                .buffer("request_buf", buffer_size)
+                .vulnerable_copy("request_buf")
+                .compute(150)
+                .returns(0)
+                .build(),
+        )
+        .function(
+            // A helper with a memory-disclosure over-read, used by the
+            // exposure-resilience experiments: it copies the request into its
+            // own buffer (bounded) and then echoes too many stack words back —
+            // enough extra words to cover the largest canary region (P-SSP-OWF
+            // uses three words).
+            FunctionBuilder::new("leak_status")
+                .buffer("status_buf", buffer_size)
+                .safe_copy("status_buf")
+                .leak("status_buf", buffer_size / 8 + 3)
+                .returns(0)
+                .build(),
+        )
+        .function(
+            FunctionBuilder::new("main").scalar("s").call("handle_request").returns(0).build(),
+        )
+        .entry("main")
+        .build()
+        .expect("victim module is statically well-formed")
+}
+
+/// A forking worker-per-request server protected by a configurable scheme.
+pub struct ForkingServer {
+    machine: Machine,
+    parent: Process,
+    geometry: FrameGeometry,
+    config: VictimConfig,
+    trials: u64,
+    crashed_workers: u64,
+}
+
+impl std::fmt::Debug for ForkingServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForkingServer")
+            .field("scheme", &self.config.scheme)
+            .field("trials", &self.trials)
+            .field("crashed_workers", &self.crashed_workers)
+            .finish()
+    }
+}
+
+impl ForkingServer {
+    /// Builds and "boots" the victim server.
+    pub fn new(config: VictimConfig) -> Self {
+        let module = victim_module(config.buffer_size);
+        let (program, scheme_for_runtime) = match config.deployment {
+            Deployment::Compiler => {
+                let compiled = Compiler::new(config.scheme)
+                    .compile(&module)
+                    .expect("victim module always compiles");
+                (compiled.program, config.scheme)
+            }
+            Deployment::BinaryRewriter => {
+                let compiled = Compiler::new(SchemeKind::Ssp)
+                    .compile(&module)
+                    .expect("victim module always compiles");
+                let mut program = compiled.program;
+                Rewriter::new()
+                    .with_link_mode(LinkMode::Dynamic)
+                    .rewrite(&mut program)
+                    .expect("SSP victim is always rewritable");
+                (program, SchemeKind::PsspBin32)
+            }
+        };
+
+        // Recompute the geometry from the scheme that actually governs the
+        // final binary (the rewriter keeps SSP's single-slot layout).
+        let canary_words = match config.deployment {
+            Deployment::Compiler => config.scheme.scheme().canary_region_words(),
+            Deployment::BinaryRewriter => 1,
+        };
+        let geometry = FrameGeometry {
+            filler_len: config.buffer_size as usize,
+            canary_region_len: (canary_words as usize) * 8,
+        };
+
+        let hooks = scheme_for_runtime.scheme().runtime_hooks(config.seed ^ 0xA77C_0DE5);
+        let mut machine = Machine::new(program, hooks, config.seed);
+        machine.exec_config.hijack_target = Some(HIJACK_TARGET);
+        // Attack campaigns fork thousands of workers; a small stack keeps the
+        // per-fork memory copy cheap without affecting any result.
+        machine.set_stack_size(16 * 1024);
+        let parent = machine.spawn();
+        ForkingServer { machine, parent, geometry, config, trials: 0, crashed_workers: 0 }
+    }
+
+    /// The victim's frame geometry (the attacker derives this from the
+    /// binary, which is not secret in the adversary model).
+    pub fn geometry(&self) -> FrameGeometry {
+        self.geometry
+    }
+
+    /// The scheme protecting the victim.
+    pub fn scheme(&self) -> SchemeKind {
+        self.config.scheme
+    }
+
+    /// Number of workers that crashed (and were replaced) so far.
+    pub fn crashed_workers(&self) -> u64 {
+        self.crashed_workers
+    }
+
+    /// Serves one request in a freshly forked worker and reports how the
+    /// worker fared.  Crashed workers are "replaced" implicitly: the next
+    /// request forks a new worker from the same parent, which is exactly the
+    /// behaviour the byte-by-byte attack exploits.
+    pub fn serve(&mut self, payload: &[u8]) -> RequestOutcome {
+        self.trials += 1;
+        let mut worker = self.machine.fork(&mut self.parent);
+        worker.set_input(payload.to_vec());
+        let outcome = self
+            .machine
+            .run_function(&mut worker, "handle_request")
+            .expect("handle_request exists in the victim binary");
+        let classified = classify(outcome.exit);
+        if classified != RequestOutcome::Survived {
+            self.crashed_workers += 1;
+        }
+        classified
+    }
+
+    /// Serves one "status" request against the leaky endpoint and returns the
+    /// bytes the worker wrote back — including, due to the over-read bug, the
+    /// canary region of the leaking frame.  Used by the canary-reuse attack.
+    pub fn serve_leak(&mut self, payload: &[u8]) -> (RequestOutcome, Vec<u8>) {
+        self.trials += 1;
+        let mut worker = self.machine.fork(&mut self.parent);
+        worker.set_input(payload.to_vec());
+        let outcome = self
+            .machine
+            .run_function(&mut worker, "leak_status")
+            .expect("leak_status exists in the victim binary");
+        let classified = classify(outcome.exit);
+        if classified != RequestOutcome::Survived {
+            self.crashed_workers += 1;
+        }
+        (classified, worker.take_output())
+    }
+
+    /// Serves a disclosure request and a follow-up overflow *in the same
+    /// worker*, modelling an attacker who first triggers the over-read bug
+    /// and then the overflow bug over one keep-alive connection.  The
+    /// overflow payload is built by `build_overflow` from the leaked bytes.
+    /// Returns the leaked bytes and the outcome of the overflow.
+    pub fn serve_leak_then_overflow(
+        &mut self,
+        leak_payload: &[u8],
+        build_overflow: impl FnOnce(&[u8]) -> Vec<u8>,
+    ) -> (Vec<u8>, RequestOutcome) {
+        self.trials += 1;
+        let mut worker = self.machine.fork(&mut self.parent);
+        worker.set_input(leak_payload.to_vec());
+        let leak_outcome = self
+            .machine
+            .run_function(&mut worker, "leak_status")
+            .expect("leak_status exists in the victim binary");
+        let leaked = worker.take_output();
+        if !leak_outcome.exit.is_normal() {
+            self.crashed_workers += 1;
+            return (leaked, classify(leak_outcome.exit));
+        }
+        let overflow_payload = build_overflow(&leaked);
+        worker.set_input(overflow_payload);
+        let outcome = self
+            .machine
+            .run_function(&mut worker, "handle_request")
+            .expect("handle_request exists in the victim binary");
+        let classified = classify(outcome.exit);
+        if classified != RequestOutcome::Survived {
+            self.crashed_workers += 1;
+        }
+        (leaked, classified)
+    }
+}
+
+impl OverflowOracle for ForkingServer {
+    fn attempt(&mut self, payload: &[u8]) -> RequestOutcome {
+        self.serve(payload)
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+}
+
+fn classify(exit: Exit) -> RequestOutcome {
+    match exit {
+        Exit::Normal(_) => RequestOutcome::Survived,
+        Exit::Fault(fault) if fault.is_detection() => RequestOutcome::Detected,
+        Exit::Fault(fault) if fault.is_hijack() => RequestOutcome::Hijacked,
+        Exit::Fault(_) => RequestOutcome::Crashed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_requests_survive_under_every_scheme() {
+        for kind in SchemeKind::ALL {
+            let mut server = ForkingServer::new(VictimConfig::new(kind, 11));
+            assert_eq!(server.serve(b"GET / HTTP/1.1"), RequestOutcome::Survived, "{kind}");
+            assert_eq!(server.crashed_workers(), 0);
+        }
+    }
+
+    #[test]
+    fn smashing_requests_are_detected_by_protected_schemes() {
+        let geometry_probe = ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 1)).geometry();
+        let payload = vec![0x41u8; geometry_probe.full_overwrite_len()];
+        for kind in SchemeKind::ALL {
+            let mut server = ForkingServer::new(VictimConfig::new(kind, 11));
+            let payload = vec![0x41u8; server.geometry().full_overwrite_len()];
+            let outcome = server.serve(&payload);
+            if kind == SchemeKind::Native {
+                assert_ne!(outcome, RequestOutcome::Detected);
+            } else {
+                assert_eq!(outcome, RequestOutcome::Detected, "{kind}");
+            }
+        }
+        assert!(payload.len() >= 80);
+    }
+
+    #[test]
+    fn unprotected_server_is_hijacked_by_a_crafted_payload() {
+        let mut server = ForkingServer::new(VictimConfig::new(SchemeKind::Native, 11));
+        let geom = server.geometry();
+        let mut payload = vec![0x41u8; geom.filler_len + geom.canary_region_len + 8];
+        payload.extend_from_slice(&HIJACK_TARGET.to_le_bytes());
+        assert_eq!(server.serve(&payload), RequestOutcome::Hijacked);
+    }
+
+    #[test]
+    fn geometry_reflects_the_scheme_layout() {
+        let ssp = ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 1)).geometry();
+        let pssp = ForkingServer::new(VictimConfig::new(SchemeKind::Pssp, 1)).geometry();
+        let owf = ForkingServer::new(VictimConfig::new(SchemeKind::PsspOwf, 1)).geometry();
+        assert_eq!(ssp.canary_region_len, 8);
+        assert_eq!(pssp.canary_region_len, 16);
+        assert_eq!(owf.canary_region_len, 24);
+        assert!(ssp.full_overwrite_len() < pssp.full_overwrite_len());
+    }
+
+    #[test]
+    fn rewriter_deployment_keeps_ssp_geometry() {
+        let config = VictimConfig::new(SchemeKind::PsspBin32, 1)
+            .with_deployment(Deployment::BinaryRewriter);
+        let server = ForkingServer::new(config);
+        assert_eq!(server.geometry().canary_region_len, 8);
+    }
+
+    #[test]
+    fn leak_endpoint_discloses_stack_words() {
+        let mut server = ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 5));
+        let (outcome, leaked) = server.serve_leak(b"status");
+        assert_eq!(outcome, RequestOutcome::Survived);
+        // buffer_size/8 + 3 words were leaked.
+        assert_eq!(leaked.len(), (64 / 8 + 3) * 8);
+    }
+
+    #[test]
+    fn crashed_worker_counter_tracks_detections() {
+        let mut server = ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 5));
+        let len = server.geometry().full_overwrite_len();
+        let _ = server.serve(&vec![0x41u8; len]);
+        let _ = server.serve(b"ok");
+        assert_eq!(server.crashed_workers(), 1);
+        assert_eq!(server.trials(), 2);
+    }
+
+    #[test]
+    fn custom_buffer_size_changes_filler_length() {
+        let server =
+            ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 5).with_buffer_size(128));
+        assert_eq!(server.geometry().filler_len, 128);
+    }
+}

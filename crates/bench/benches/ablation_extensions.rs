@@ -1,0 +1,39 @@
+//! Ablation over the P-SSP extensions: per-call cost and security properties
+//! of P-SSP vs P-SSP-NT vs P-SSP-LV vs P-SSP-OWF (§IV, §VI-B).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_attacks::reuse::CanaryReuseAttack;
+use polycanary_attacks::victim::{ForkingServer, VictimConfig};
+use polycanary_bench::experiments as exp;
+use polycanary_core::scheme::SchemeKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    group.bench_function("full_ablation", |b| b.iter(|| exp::run_ablation(7)));
+
+    for scheme in
+        [SchemeKind::Pssp, SchemeKind::PsspNt, SchemeKind::PsspLv, SchemeKind::PsspOwf]
+    {
+        group.bench_with_input(
+            BenchmarkId::new("canary_reuse_attack", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut server = ForkingServer::new(VictimConfig::new(scheme, 0x1EAC));
+                    CanaryReuseAttack::default().run(&mut server)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

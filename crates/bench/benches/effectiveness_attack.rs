@@ -1,0 +1,42 @@
+//! §VI-C — effectiveness: the byte-by-byte attack against SSP-compiled and
+//! P-SSP-compiled servers (plus the rewritten binary).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_attacks::byte_by_byte::ByteByByteAttack;
+use polycanary_attacks::victim::{Deployment, ForkingServer, VictimConfig};
+use polycanary_core::scheme::SchemeKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effectiveness");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let campaigns: [(&str, SchemeKind, Deployment, u64); 3] = [
+        ("ssp_falls", SchemeKind::Ssp, Deployment::Compiler, 4_000),
+        ("pssp_resists", SchemeKind::Pssp, Deployment::Compiler, 2_000),
+        ("rewritten_resists", SchemeKind::PsspBin32, Deployment::BinaryRewriter, 2_000),
+    ];
+    for (label, scheme, deployment, budget) in campaigns {
+        group.bench_with_input(
+            BenchmarkId::new("byte_by_byte", label),
+            &(scheme, deployment, budget),
+            |b, &(scheme, deployment, budget)| {
+                b.iter(|| {
+                    let mut server = ForkingServer::new(
+                        VictimConfig::new(scheme, 0xA77A).with_deployment(deployment),
+                    );
+                    let geometry = server.geometry();
+                    ByteByByteAttack::with_budget(budget).run(&mut server, geometry, scheme)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 5 — runtime overhead of P-SSP against native executions on the
+//! SPEC-like suite, for both the compiler and the instrumentation deployment.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_bench::experiments as exp;
+use polycanary_workloads::build::Build;
+use polycanary_workloads::spec::spec_suite;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    // The headline series: print-quality data comes from the harness; here we
+    // measure the cost of producing a 6-program slice of the figure.
+    group.bench_function("six_program_sweep", |b| b.iter(|| exp::run_fig5(7, 6)));
+
+    // Per-build execution of one call-heavy and one compute-heavy program.
+    for program in [spec_suite()[2], spec_suite()[26]] {
+        for build in Build::figure5_builds() {
+            group.bench_with_input(
+                BenchmarkId::new(program.name, build.label()),
+                &(program, build),
+                |b, &(program, build)| b.iter(|| program.run(build, 7)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table I — comparison of brute-force-attack defence tools.
+//!
+//! Measures the wall-clock cost of the full comparison (attack campaigns,
+//! fork-return correctness check and SPEC-subset overhead) and, separately,
+//! the per-request cost of a worker under each defence.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_attacks::victim::{ForkingServer, VictimConfig};
+use polycanary_bench::experiments as exp;
+use polycanary_core::scheme::SchemeKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    group.bench_function("full_comparison", |b| b.iter(|| exp::run_table1(7, 2)));
+
+    for scheme in [
+        SchemeKind::Ssp,
+        SchemeKind::RafSsp,
+        SchemeKind::DynaGuard,
+        SchemeKind::Dcr,
+        SchemeKind::Pssp,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("request_under", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let mut server = ForkingServer::new(VictimConfig::new(scheme, 7));
+                b.iter(|| server.serve(b"GET /index.html HTTP/1.1"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

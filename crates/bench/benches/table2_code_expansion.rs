@@ -1,0 +1,19 @@
+//! Table II — code expansion rate of the three deployments.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polycanary_bench::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    group.bench_function("code_expansion_8_programs", |b| b.iter(|| exp::run_table2(8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table III — web-server mean response time under the three builds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_workloads::build::Build;
+use polycanary_workloads::webserver::{benchmark_server, LoadConfig, ServerModel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    let config = LoadConfig { requests: 50, concurrency: 25, seed: 7 };
+    for server in [ServerModel::ApacheLike, ServerModel::NginxLike] {
+        for build in Build::figure5_builds() {
+            group.bench_with_input(
+                BenchmarkId::new(server.name(), build.label()),
+                &(server, build),
+                |b, &(server, build)| b.iter(|| benchmark_server(server, build, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table IV — database query execution time under the three builds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_workloads::build::Build;
+use polycanary_workloads::database::{benchmark_database, DatabaseModel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    for engine in [DatabaseModel::MySqlLike, DatabaseModel::SqliteLike] {
+        for build in Build::figure5_builds() {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), build.label()),
+                &(engine, build),
+                |b, &(engine, build)| b.iter(|| benchmark_database(engine, build, 3, 7)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

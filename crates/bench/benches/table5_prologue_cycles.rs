@@ -1,0 +1,36 @@
+//! Table V — CPU cycles spent by the prologue and epilogue of P-SSP and its
+//! three extensions (simulated cycles reported by the harness; here we
+//! measure the wall-clock cost of executing the instrumented probe).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_bench::experiments::canary_handling_cycles;
+use polycanary_core::scheme::SchemeKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+
+    let configs: [(&str, SchemeKind, u32); 5] = [
+        ("P-SSP", SchemeKind::Pssp, 0),
+        ("P-SSP-NT", SchemeKind::PsspNt, 0),
+        ("P-SSP-LV-2", SchemeKind::PsspLv, 1),
+        ("P-SSP-LV-4", SchemeKind::PsspLv, 3),
+        ("P-SSP-OWF", SchemeKind::PsspOwf, 0),
+    ];
+    for (label, scheme, criticals) in configs {
+        group.bench_with_input(
+            BenchmarkId::new("probe", label),
+            &(scheme, criticals),
+            |b, &(scheme, criticals)| b.iter(|| canary_handling_cycles(scheme, criticals, 7)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Command-line harness printing every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p polycanary-bench --bin harness -- all
+//! cargo run -p polycanary-bench --bin harness -- table1 fig5 table5
+//! cargo run -p polycanary-bench --bin harness -- --seed 7 attack
+//! ```
+
+use polycanary_bench::experiments as exp;
+use polycanary_core::scheme::SchemeKind;
+
+fn print_usage() {
+    eprintln!(
+        "usage: harness [--seed N] [--quick] <experiment>...\n\
+         experiments: table1 fig5 table2 table3 table4 table5 attack theorem1 ablation all"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let mut seed = 0x0DD5_EEDu64;
+    let mut quick = false;
+    let mut experiments = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = iter.next().unwrap_or_default();
+                seed = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed value `{value}`");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+
+    let spec_programs = if quick { 4 } else { 28 };
+    let requests = if quick { 50 } else { 500 };
+    let queries = if quick { 5 } else { 50 };
+    let byte_budget = if quick { 4_000 } else { 20_000 };
+
+    let all = experiments.iter().any(|e| e == "all");
+    let wants = |name: &str| all || experiments.iter().any(|e| e == name);
+
+    if wants("table1") {
+        println!("== Table I: comparison of brute-force-attack defence tools ==");
+        println!("{}", exp::format_table1(&exp::run_table1(seed, spec_programs.min(6))));
+    }
+    if wants("fig5") {
+        println!("== Figure 5: runtime overhead of P-SSP vs native (SPEC-like suite) ==");
+        println!("{}", exp::format_fig5(&exp::run_fig5(seed, spec_programs)));
+    }
+    if wants("table2") {
+        println!("== Table II: code expansion rate ==");
+        println!("{}", exp::format_table2(&exp::run_table2(spec_programs)));
+    }
+    if wants("table3") {
+        println!("== Table III: web-server mean response time ==");
+        println!("{}", exp::format_table3(&exp::run_table3(seed, requests)));
+    }
+    if wants("table4") {
+        println!("== Table IV: database performance ==");
+        println!("{}", exp::format_table4(&exp::run_table4(seed, queries)));
+    }
+    if wants("table5") {
+        println!("== Table V: prologue/epilogue CPU cycles ==");
+        println!("{}", exp::format_table5(&exp::run_table5(seed)));
+    }
+    if wants("attack") {
+        println!("== §VI-C: attack effectiveness (byte-by-byte, exhaustive, reuse) ==");
+        let schemes = [
+            SchemeKind::Ssp,
+            SchemeKind::Pssp,
+            SchemeKind::PsspNt,
+            SchemeKind::PsspOwf,
+            SchemeKind::PsspBin32,
+        ];
+        println!("{}", exp::format_effectiveness(&exp::run_effectiveness(seed, &schemes, byte_budget)));
+    }
+    if wants("theorem1") {
+        println!("== Theorem 1: independence of exposed canaries ==");
+        println!("{}", exp::format_theorem1(&exp::run_theorem1(seed, 5_000)));
+    }
+    if wants("ablation") {
+        println!("== Extensions ablation (P-SSP vs NT / LV / OWF) ==");
+        println!("{}", exp::format_ablation(&exp::run_ablation(seed)));
+    }
+
+    if !all
+        && !["table1", "fig5", "table2", "table3", "table4", "table5", "attack", "theorem1", "ablation"]
+            .iter()
+            .any(|known| experiments.iter().any(|e| e == known))
+    {
+        eprintln!("no known experiment selected");
+        print_usage();
+        std::process::exit(2);
+    }
+}

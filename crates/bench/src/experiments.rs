@@ -1,0 +1,678 @@
+//! Experiment runners regenerating every table and figure of the paper.
+//!
+//! Each `run_*` function produces a structured result plus a plain-text
+//! rendering in the spirit of the original table.  The `harness` binary
+//! prints them; the Criterion benches wrap them for wall-clock measurement;
+//! EXPERIMENTS.md records representative output next to the paper's numbers.
+
+use std::fmt::Write as _;
+
+use polycanary_attacks::byte_by_byte::ByteByByteAttack;
+use polycanary_attacks::exhaustive::ExhaustiveAttack;
+use polycanary_attacks::reuse::CanaryReuseAttack;
+use polycanary_attacks::stats::AttackResult;
+use polycanary_attacks::victim::{ForkingServer, VictimConfig};
+use polycanary_compiler::codegen::Compiler;
+use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder};
+use polycanary_core::analysis::{attack_effort, theorem1_independence_test, IndependenceTest};
+use polycanary_core::rerandomize::re_randomize;
+use polycanary_core::scheme::SchemeKind;
+use polycanary_crypto::Xoshiro256StarStar;
+use polycanary_rewriter::LinkMode;
+use polycanary_workloads::build::{binary_size, Build};
+use polycanary_workloads::database::{benchmark_database, DatabaseModel};
+use polycanary_workloads::spec::{mean, spec_suite, SpecProgram};
+use polycanary_workloads::webserver::{benchmark_server, LoadConfig, ServerModel};
+
+// ---------------------------------------------------------------------------
+// Table I — defence-tool comparison
+// ---------------------------------------------------------------------------
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The defence tool.
+    pub scheme: SchemeKind,
+    /// "BROP Prevention" column — measured by running the byte-by-byte
+    /// attack against a forking server protected by the scheme.
+    pub brop_prevented: bool,
+    /// "Correctness" column — measured by forking a child after the parent
+    /// pushed protected frames and letting the child return through them.
+    pub correct: bool,
+    /// Compiler-based runtime overhead over native, in percent (measured on
+    /// a subset of the SPEC-like suite).
+    pub compiler_overhead_percent: f64,
+}
+
+/// Runs the Table I comparison.
+pub fn run_table1(seed: u64, spec_programs: usize) -> Vec<Table1Row> {
+    let schemes =
+        [SchemeKind::Ssp, SchemeKind::RafSsp, SchemeKind::DynaGuard, SchemeKind::Dcr, SchemeKind::Pssp];
+    let programs: Vec<SpecProgram> = spec_suite().into_iter().take(spec_programs.max(1)).collect();
+    schemes
+        .iter()
+        .map(|&scheme| {
+            // BROP prevention: does the byte-by-byte attack fail?
+            let mut server = ForkingServer::new(VictimConfig::new(scheme, seed));
+            let geometry = server.geometry();
+            let budget = if scheme == SchemeKind::Ssp { 4_000 } else { 3_000 };
+            let attack = ByteByByteAttack::with_budget(budget).run(&mut server, geometry, scheme);
+
+            // Correctness: child returning into an inherited protected frame.
+            let correct = fork_return_correctness(scheme, seed);
+
+            // Overhead on the SPEC-like subset.
+            let overheads: Vec<f64> = programs
+                .iter()
+                .map(|p| p.overhead_percent(Build::Compiler(scheme), seed))
+                .collect();
+
+            Table1Row {
+                scheme,
+                brop_prevented: !attack.success,
+                correct,
+                compiler_overhead_percent: mean(&overheads),
+            }
+        })
+        .collect()
+}
+
+/// The fork-return correctness scenario of §II-B/§II-C: the parent forks
+/// while a protected frame is live on its stack, and the child later executes
+/// that frame's *epilogue* (i.e. returns through the inherited frame).
+/// RAF-SSP fails this check because the child's TLS canary no longer matches
+/// the canary the parent's prologue stored; every other scheme passes.
+///
+/// The scenario is built from two hand-assembled functions that share one
+/// frame layout: `parent_half` runs the scheme's prologue (leaving the canary
+/// and any bookkeeping state behind, exactly like a frame that is still live
+/// at fork time) and `child_half` runs only the scheme's epilogue over that
+/// inherited frame image.
+pub fn fork_return_correctness(scheme: SchemeKind, seed: u64) -> bool {
+    use polycanary_core::layout::FrameInfo;
+    use polycanary_vm::inst::Inst;
+    use polycanary_vm::machine::Machine;
+    use polycanary_vm::program::Program;
+    use polycanary_vm::reg::Reg;
+
+    let scheme_obj = scheme.scheme();
+    let frame = FrameInfo::protected("inherited_frame", 0x40);
+
+    let mut parent_half = vec![
+        Inst::PushReg(Reg::Rbp),
+        Inst::MovRegReg { dst: Reg::Rbp, src: Reg::Rsp },
+        Inst::SubRspImm(frame.frame_size),
+    ];
+    parent_half.extend(scheme_obj.emit_prologue(&frame));
+    parent_half.extend([Inst::MovImmToReg { dst: Reg::Rax, imm: 0 }, Inst::Leave, Inst::Ret]);
+
+    let mut child_half = vec![
+        Inst::PushReg(Reg::Rbp),
+        Inst::MovRegReg { dst: Reg::Rbp, src: Reg::Rsp },
+        Inst::SubRspImm(frame.frame_size),
+    ];
+    child_half.extend(scheme_obj.emit_epilogue(&frame));
+    child_half.extend([Inst::MovImmToReg { dst: Reg::Rax, imm: 0 }, Inst::Leave, Inst::Ret]);
+
+    let mut program = Program::new();
+    let parent_fn = program.add_function("parent_half", parent_half).expect("unique names");
+    program.add_function("child_half", child_half).expect("unique names");
+    program.set_entry(parent_fn);
+
+    let mut machine = Machine::new(program, scheme_obj.runtime_hooks(seed), seed);
+    let mut parent = machine.spawn();
+    let parent_outcome = machine.run_function(&mut parent, "parent_half").expect("exists");
+    if !parent_outcome.exit.is_normal() {
+        return false;
+    }
+    // Fork while the parent's canary (and bookkeeping entries) are in place.
+    let mut child = machine.fork(&mut parent);
+    // The child now "returns" through the inherited frame: both functions use
+    // the same frame size, so the epilogue reads exactly the slots the
+    // parent's prologue wrote.
+    let child_outcome = machine.run_function(&mut child, "child_half").expect("exists");
+    child_outcome.exit.is_normal()
+}
+
+/// Renders Table I as text.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>16} {:>12} {:>28}",
+        "Defence", "BROP Prevention", "Correctness", "Compiler overhead (%)"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>16} {:>12} {:>28.2}",
+            row.scheme.name(),
+            if row.brop_prevented { "Yes" } else { "No" },
+            if row.correct { "Yes" } else { "No" },
+            row.compiler_overhead_percent
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — SPEC-like runtime overhead
+// ---------------------------------------------------------------------------
+
+/// One bar group of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Benchmark program name.
+    pub program: &'static str,
+    /// Compiler-based P-SSP overhead over native, percent.
+    pub compiler_percent: f64,
+    /// Instrumentation-based P-SSP overhead over native, percent.
+    pub instrumentation_percent: f64,
+}
+
+/// Runs the Figure 5 sweep over the first `programs` SPEC-like programs
+/// (pass 28 for the full figure).
+pub fn run_fig5(seed: u64, programs: usize) -> Vec<Fig5Row> {
+    spec_suite()
+        .into_iter()
+        .take(programs.max(1))
+        .map(|p| Fig5Row {
+            program: p.name,
+            compiler_percent: p.overhead_percent(Build::Compiler(SchemeKind::Pssp), seed),
+            instrumentation_percent: p
+                .overhead_percent(Build::BinaryRewriter(LinkMode::Dynamic), seed),
+        })
+        .collect()
+}
+
+/// Renders Figure 5 (as a table of the two series).
+pub fn format_fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<18} {:>14} {:>20}", "Program", "Compiler (%)", "Instrumentation (%)");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14.3} {:>20.3}",
+            row.program, row.compiler_percent, row.instrumentation_percent
+        );
+    }
+    let compiler_mean = mean(&rows.iter().map(|r| r.compiler_percent).collect::<Vec<_>>());
+    let instr_mean = mean(&rows.iter().map(|r| r.instrumentation_percent).collect::<Vec<_>>());
+    let _ = writeln!(out, "{:<18} {:>14.3} {:>20.3}", "average", compiler_mean, instr_mean);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table II — code expansion
+// ---------------------------------------------------------------------------
+
+/// The three columns of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Result {
+    /// Compiler-based P-SSP code expansion, percent.
+    pub compilation_percent: f64,
+    /// Instrumentation-based expansion for dynamically linked binaries.
+    pub instrumentation_dynamic_percent: f64,
+    /// Instrumentation-based expansion for statically linked binaries.
+    pub instrumentation_static_percent: f64,
+}
+
+/// Runs the Table II measurement over the first `programs` SPEC-like
+/// programs.
+pub fn run_table2(programs: usize) -> Table2Result {
+    let suite: Vec<SpecProgram> = spec_suite().into_iter().take(programs.max(1)).collect();
+    let expansion = |build: Build| -> f64 {
+        let mut totals = Vec::new();
+        for p in &suite {
+            let module = p.module();
+            let native = binary_size(&module, Build::Native) as f64;
+            // The instrumentation columns compare against the SSP binary the
+            // rewriter starts from, matching the paper's methodology.
+            let baseline = match build {
+                Build::BinaryRewriter(_) => binary_size(&module, Build::Compiler(SchemeKind::Ssp)) as f64,
+                _ => native,
+            };
+            let protected = binary_size(&module, build) as f64;
+            totals.push((protected - baseline) / baseline * 100.0);
+        }
+        mean(&totals)
+    };
+    Table2Result {
+        compilation_percent: expansion(Build::Compiler(SchemeKind::Pssp)),
+        instrumentation_dynamic_percent: expansion(Build::BinaryRewriter(LinkMode::Dynamic)),
+        instrumentation_static_percent: expansion(Build::BinaryRewriter(LinkMode::Static)),
+    }
+}
+
+/// Renders Table II.
+pub fn format_table2(result: &Table2Result) -> String {
+    format!(
+        "{:<28} {:>10.2}%\n{:<28} {:>10.2}%\n{:<28} {:>10.2}%\n",
+        "Compilation",
+        result.compilation_percent,
+        "Instrumentation (dynamic)",
+        result.instrumentation_dynamic_percent,
+        "Instrumentation (static)",
+        result.instrumentation_static_percent
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Table III — web servers
+// ---------------------------------------------------------------------------
+
+/// One cell of Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Server name.
+    pub server: &'static str,
+    /// Build label.
+    pub build: String,
+    /// Mean time per request in simulated milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Runs the Table III measurement with `requests` per cell.
+pub fn run_table3(seed: u64, requests: u64) -> Vec<Table3Row> {
+    let config = LoadConfig { requests: requests.max(1), concurrency: 50, seed };
+    let mut rows = Vec::new();
+    for server in [ServerModel::ApacheLike, ServerModel::NginxLike] {
+        for build in Build::figure5_builds() {
+            let report = benchmark_server(server, build, config);
+            rows.push(Table3Row { server: report.server, build: report.build, mean_ms: report.mean_ms });
+        }
+    }
+    rows
+}
+
+/// Renders Table III.
+pub fn format_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:<36} {:>18}", "Server", "Build", "Mean ms/request");
+    for row in rows {
+        let _ = writeln!(out, "{:<10} {:<36} {:>18.3}", row.server, row.build, row.mean_ms);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — databases
+// ---------------------------------------------------------------------------
+
+/// One cell of Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Build label.
+    pub build: String,
+    /// Mean query execution time in simulated milliseconds.
+    pub query_ms: f64,
+    /// Resident memory in megabytes.
+    pub memory_mb: f64,
+}
+
+/// Runs the Table IV measurement with `queries` per cell.
+pub fn run_table4(seed: u64, queries: u64) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    for engine in [DatabaseModel::MySqlLike, DatabaseModel::SqliteLike] {
+        for build in Build::figure5_builds() {
+            let report = benchmark_database(engine, build, queries, seed);
+            rows.push(Table4Row {
+                engine: report.engine,
+                build: report.build,
+                query_ms: report.mean_query_ms,
+                memory_mb: report.memory_mb,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Table IV.
+pub fn format_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<8} {:<36} {:>16} {:>14}", "Engine", "Build", "Query (ms)", "Memory (MB)");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<36} {:>16.3} {:>14.2}",
+            row.engine, row.build, row.query_ms, row.memory_mb
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table V — prologue/epilogue cycles
+// ---------------------------------------------------------------------------
+
+/// One column of Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Entry {
+    /// Configuration label (scheme, plus canary count for P-SSP-LV).
+    pub label: String,
+    /// Extra cycles spent in the prologue + epilogue relative to the same
+    /// function compiled without protection.
+    pub cycles: u64,
+}
+
+/// Runs the Table V micro-measurement.
+pub fn run_table5(seed: u64) -> Vec<Table5Entry> {
+    vec![
+        Table5Entry { label: "P-SSP".into(), cycles: canary_handling_cycles(SchemeKind::Pssp, 0, seed) },
+        Table5Entry {
+            label: "P-SSP-NT".into(),
+            cycles: canary_handling_cycles(SchemeKind::PsspNt, 0, seed),
+        },
+        Table5Entry {
+            label: "P-SSP-LV (2 canaries)".into(),
+            cycles: canary_handling_cycles(SchemeKind::PsspLv, 1, seed),
+        },
+        Table5Entry {
+            label: "P-SSP-LV (4 canaries)".into(),
+            cycles: canary_handling_cycles(SchemeKind::PsspLv, 3, seed),
+        },
+        Table5Entry {
+            label: "P-SSP-OWF".into(),
+            cycles: canary_handling_cycles(SchemeKind::PsspOwf, 0, seed),
+        },
+    ]
+}
+
+/// Measures the prologue+epilogue cycle cost of `scheme` on a minimal probe
+/// function with `critical_buffers` critical locals, by differencing against
+/// the unprotected build of the same probe.
+pub fn canary_handling_cycles(scheme: SchemeKind, critical_buffers: u32, seed: u64) -> u64 {
+    let probe = |kind: SchemeKind| -> u64 {
+        let mut f = FunctionBuilder::new("probe").buffer("buf", 32).safe_copy("buf");
+        for i in 0..critical_buffers {
+            f = f.critical_buffer(format!("secret_{i}"), 16);
+        }
+        let module = ModuleBuilder::new().function(f.returns(0).build()).build().unwrap();
+        let compiled = Compiler::new(kind).compile(&module).expect("probe compiles");
+        let mut machine = compiled.into_machine(seed);
+        let mut process = machine.spawn();
+        process.set_input(vec![0u8; 8]);
+        let outcome = machine.run(&mut process).expect("probe runs");
+        assert!(outcome.exit.is_normal(), "probe must not crash: {:?}", outcome.exit);
+        outcome.cycles
+    };
+    probe(scheme).saturating_sub(probe(SchemeKind::Native))
+}
+
+/// Renders Table V.
+pub fn format_table5(entries: &[Table5Entry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<24} {:>18}", "Configuration", "Cycles (pro+epi)");
+    for entry in entries {
+        let _ = writeln!(out, "{:<24} {:>18}", entry.label, entry.cycles);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// §VI-C — attack effectiveness
+// ---------------------------------------------------------------------------
+
+/// Result of the effectiveness experiment for one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectivenessRow {
+    /// The scheme under attack.
+    pub scheme: SchemeKind,
+    /// Byte-by-byte attack result.
+    pub byte_by_byte: AttackResult,
+    /// Exhaustive attack result (bounded budget).
+    pub exhaustive: AttackResult,
+    /// Canary-reuse attack result.
+    pub reuse: AttackResult,
+}
+
+/// Runs the §VI-C effectiveness experiment for the given schemes.
+pub fn run_effectiveness(seed: u64, schemes: &[SchemeKind], byte_budget: u64) -> Vec<EffectivenessRow> {
+    schemes
+        .iter()
+        .map(|&scheme| {
+            let mut server = ForkingServer::new(VictimConfig::new(scheme, seed));
+            let geometry = server.geometry();
+            let byte_by_byte =
+                ByteByByteAttack::with_budget(byte_budget).run(&mut server, geometry, scheme);
+
+            let mut server = ForkingServer::new(VictimConfig::new(scheme, seed ^ 1));
+            let geometry = server.geometry();
+            let exhaustive = ExhaustiveAttack::with_budget(500).run(&mut server, geometry, scheme);
+
+            let mut server = ForkingServer::new(VictimConfig::new(scheme, seed ^ 2));
+            let reuse = CanaryReuseAttack::default().run(&mut server);
+
+            EffectivenessRow { scheme, byte_by_byte, exhaustive, reuse }
+        })
+        .collect()
+}
+
+/// Renders the effectiveness experiment.
+pub fn format_effectiveness(rows: &[EffectivenessRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>22} {:>22} {:>18}",
+        "Scheme", "byte-by-byte", "exhaustive (500)", "canary reuse"
+    );
+    for row in rows {
+        let bbb = if row.byte_by_byte.success {
+            format!("breaks in {} trials", row.byte_by_byte.trials)
+        } else {
+            format!("fails ({} trials)", row.byte_by_byte.trials)
+        };
+        let exh = if row.exhaustive.success { "breaks".to_string() } else { "fails".to_string() };
+        let reuse = if row.reuse.success { "breaks" } else { "fails" };
+        let _ = writeln!(out, "{:<12} {:>22} {:>22} {:>18}", row.scheme.name(), bbb, exh, reuse);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 — independence of exposed canaries
+// ---------------------------------------------------------------------------
+
+/// Runs the empirical Theorem-1 test: collects the `C1` half of `samples`
+/// re-randomizations of one fixed TLS canary and checks the observations are
+/// consistent with uniformity (zero information about `C`).
+pub fn run_theorem1(seed: u64, samples: usize) -> IndependenceTest {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let tls_canary = 0x0123_4567_89AB_CDEFu64 ^ seed;
+    let observed: Vec<u64> =
+        (0..samples).map(|_| re_randomize(tls_canary, &mut rng).c1).collect();
+    theorem1_independence_test(&observed)
+}
+
+/// Renders the Theorem-1 result.
+pub fn format_theorem1(result: &IndependenceTest) -> String {
+    format!(
+        "samples = {}, chi-square = {:.2} (df = {}), consistent with uniform: {}\n",
+        result.samples, result.chi_square, result.degrees_of_freedom, result.consistent_with_uniform
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Ablation over the extensions (§IV / §VI-B)
+// ---------------------------------------------------------------------------
+
+/// One row of the extensions ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// The scheme.
+    pub scheme: SchemeKind,
+    /// Per-call canary handling cost in cycles.
+    pub per_call_cycles: u64,
+    /// Expected byte-by-byte trials from the analytical model.
+    pub analytical_byte_by_byte_trials: u64,
+    /// Whether the scheme needs TLS/fork changes to deploy.
+    pub needs_runtime_changes: bool,
+    /// Whether the scheme resists the canary-reuse (disclosure) attack.
+    pub exposure_resilient: bool,
+}
+
+/// Runs the ablation over P-SSP and its three extensions.
+pub fn run_ablation(seed: u64) -> Vec<AblationRow> {
+    [SchemeKind::Pssp, SchemeKind::PsspNt, SchemeKind::PsspLv, SchemeKind::PsspOwf]
+        .into_iter()
+        .map(|scheme| {
+            let props = scheme.scheme().properties();
+            AblationRow {
+                scheme,
+                per_call_cycles: canary_handling_cycles(scheme, 0, seed),
+                analytical_byte_by_byte_trials: attack_effort(&props).byte_by_byte_trials,
+                needs_runtime_changes: props.modifies_tls_layout,
+                exposure_resilient: props.exposure_resilient,
+            }
+        })
+        .collect()
+}
+
+/// Renders the ablation.
+pub fn format_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>16} {:>24} {:>16} {:>20}",
+        "Scheme", "cycles/call", "byte-by-byte trials", "runtime changes", "exposure resilient"
+    );
+    for row in rows {
+        let trials = if row.analytical_byte_by_byte_trials == u64::MAX {
+            ">= 2^63".to_string()
+        } else {
+            row.analytical_byte_by_byte_trials.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>16} {:>24} {:>16} {:>20}",
+            row.scheme.name(),
+            row.per_call_cycles,
+            trials,
+            if row.needs_runtime_changes { "yes" } else { "no" },
+            if row.exposure_resilient { "yes" } else { "no" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_qualitative_columns() {
+        let rows = run_table1(3, 2);
+        let by_scheme = |k: SchemeKind| rows.iter().find(|r| r.scheme == k).unwrap();
+        assert!(!by_scheme(SchemeKind::Ssp).brop_prevented);
+        assert!(by_scheme(SchemeKind::Ssp).correct);
+        assert!(by_scheme(SchemeKind::RafSsp).brop_prevented);
+        assert!(!by_scheme(SchemeKind::RafSsp).correct);
+        for k in [SchemeKind::DynaGuard, SchemeKind::Dcr, SchemeKind::Pssp] {
+            assert!(by_scheme(k).brop_prevented, "{k}");
+            assert!(by_scheme(k).correct, "{k}");
+        }
+        // P-SSP is the cheapest of the BROP-preventing schemes.
+        assert!(
+            by_scheme(SchemeKind::Pssp).compiler_overhead_percent
+                <= by_scheme(SchemeKind::DynaGuard).compiler_overhead_percent + 1e-9
+        );
+        assert!(format_table1(&rows).contains("P-SSP"));
+    }
+
+    #[test]
+    fn fig5_overheads_are_small_and_ordered() {
+        let rows = run_fig5(5, 4);
+        assert_eq!(rows.len(), 4);
+        let compiler = mean(&rows.iter().map(|r| r.compiler_percent).collect::<Vec<_>>());
+        let instr = mean(&rows.iter().map(|r| r.instrumentation_percent).collect::<Vec<_>>());
+        assert!(compiler > 0.0 && compiler < 3.0, "compiler mean {compiler}");
+        assert!(instr > compiler, "instrumentation {instr} vs compiler {compiler}");
+        assert!(format_fig5(&rows).contains("average"));
+    }
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let result = run_table2(3);
+        assert!(result.compilation_percent > 0.0 && result.compilation_percent < 5.0);
+        assert_eq!(result.instrumentation_dynamic_percent, 0.0);
+        assert!(result.instrumentation_static_percent > 0.0);
+        assert!(format_table2(&result).contains("static"));
+    }
+
+    #[test]
+    fn table3_and_table4_show_negligible_differences() {
+        let rows = run_table3(7, 20);
+        assert_eq!(rows.len(), 6);
+        for chunk in rows.chunks(3) {
+            let native = chunk[0].mean_ms;
+            for cell in chunk {
+                assert!((cell.mean_ms - native) / native < 0.01, "{cell:?}");
+            }
+        }
+        let rows = run_table4(7, 3);
+        assert_eq!(rows.len(), 6);
+        for chunk in rows.chunks(3) {
+            let native = chunk[0].query_ms;
+            for cell in chunk {
+                assert!((cell.query_ms - native) / native < 0.01, "{cell:?}");
+                assert_eq!(cell.memory_mb, chunk[0].memory_mb);
+            }
+        }
+        assert!(format_table3(&rows.iter().map(|r| Table3Row {
+            server: r.engine,
+            build: r.build.clone(),
+            mean_ms: r.query_ms
+        }).collect::<Vec<_>>()).contains("Build"));
+        assert!(format_table4(&rows).contains("Memory"));
+    }
+
+    #[test]
+    fn table5_reproduces_the_paper_ordering() {
+        let entries = run_table5(5);
+        let get = |label: &str| entries.iter().find(|e| e.label.starts_with(label)).unwrap().cycles;
+        let pssp = get("P-SSP");
+        let nt = get("P-SSP-NT");
+        let lv2 = get("P-SSP-LV (2");
+        let lv4 = get("P-SSP-LV (4");
+        let owf = get("P-SSP-OWF");
+        // Paper: 6, 343, 343, 986, 278.
+        assert!(pssp < 30, "P-SSP should be a handful of cycles, got {pssp}");
+        assert!(owf > pssp && owf < nt, "OWF ({owf}) sits between P-SSP ({pssp}) and NT ({nt})");
+        assert!((lv2 as i64 - nt as i64).abs() < 60, "LV-2 ({lv2}) ~ NT ({nt})");
+        assert!(lv4 > 2 * nt, "LV-4 ({lv4}) draws three random numbers vs NT's one ({nt})");
+        assert!(format_table5(&entries).contains("P-SSP-OWF"));
+    }
+
+    #[test]
+    fn effectiveness_rows_separate_ssp_from_pssp() {
+        let rows = run_effectiveness(11, &[SchemeKind::Ssp, SchemeKind::Pssp], 4_000);
+        let ssp = &rows[0];
+        let pssp = &rows[1];
+        assert!(ssp.byte_by_byte.success);
+        assert!(!pssp.byte_by_byte.success);
+        assert!(!ssp.exhaustive.success && !pssp.exhaustive.success);
+        assert!(ssp.reuse.success && pssp.reuse.success);
+        assert!(format_effectiveness(&rows).contains("breaks in"));
+    }
+
+    #[test]
+    fn theorem1_is_consistent_with_uniformity() {
+        let result = run_theorem1(99, 2_000);
+        assert!(result.consistent_with_uniform, "chi2 = {}", result.chi_square);
+        assert!(format_theorem1(&result).contains("consistent"));
+    }
+
+    #[test]
+    fn ablation_covers_the_three_extensions() {
+        let rows = run_ablation(3);
+        assert_eq!(rows.len(), 4);
+        let owf = rows.iter().find(|r| r.scheme == SchemeKind::PsspOwf).unwrap();
+        assert!(owf.exposure_resilient);
+        let nt = rows.iter().find(|r| r.scheme == SchemeKind::PsspNt).unwrap();
+        assert!(!nt.needs_runtime_changes);
+        assert!(nt.per_call_cycles > rows[0].per_call_cycles);
+        assert!(format_ablation(&rows).contains("cycles/call"));
+    }
+}

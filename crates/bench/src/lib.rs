@@ -1,0 +1,27 @@
+//! Benchmark harness regenerating every table and figure of
+//! *To Detect Stack Buffer Overflow with Polymorphic Canaries* (DSN 2018).
+//!
+//! The [`experiments`] module contains one `run_*` / `format_*` pair per
+//! table and figure of the paper's evaluation section:
+//!
+//! | Function | Paper artefact |
+//! |---|---|
+//! | [`experiments::run_table1`] | Table I — defence-tool comparison |
+//! | [`experiments::run_fig5`] | Figure 5 — SPEC runtime overhead |
+//! | [`experiments::run_table2`] | Table II — code expansion |
+//! | [`experiments::run_table3`] | Table III — web-server response time |
+//! | [`experiments::run_table4`] | Table IV — database performance |
+//! | [`experiments::run_table5`] | Table V — prologue/epilogue cycles |
+//! | [`experiments::run_effectiveness`] | §VI-C — attack effectiveness |
+//! | [`experiments::run_theorem1`] | Theorem 1 — canary independence |
+//! | [`experiments::run_ablation`] | §IV/§VI-B — extension trade-offs |
+//!
+//! Run `cargo run -p polycanary-bench --bin harness -- all` to print every
+//! table, or `cargo bench` to measure them under Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,468 @@
+//! Code generation: MiniC module + scheme → executable [`Program`].
+//!
+//! This is the analogue of the paper's `libP-SSP.so` LLVM plugin (§V-B): for
+//! every function the compiler establishes the frame, asks the active
+//! [`CanaryScheme`] for its prologue, lowers the body, and asks the scheme
+//! for its epilogue before `leaveq; retq`.
+
+use std::collections::HashMap;
+
+use polycanary_core::scheme::{CanaryScheme, SchemeKind};
+use polycanary_vm::inst::{FuncId, Inst};
+use polycanary_vm::machine::Machine;
+use polycanary_vm::program::Program;
+use polycanary_vm::reg::Reg;
+
+use crate::error::CompileError;
+use crate::frame::{layout_frame, FrameLayout};
+use crate::ir::{ModuleDef, Stmt, WriteSource};
+use crate::pass::PassManager;
+
+/// The result of compiling a MiniC module.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// The executable program.
+    pub program: Program,
+    /// The scheme the module was compiled with (per-function overrides, if
+    /// any, are recorded in [`CompiledModule::function_schemes`]).
+    pub scheme: SchemeKind,
+    /// Frame layout of every function, indexed like the program's functions.
+    pub frames: Vec<FrameLayout>,
+    /// The scheme actually applied to each function.
+    pub function_schemes: Vec<SchemeKind>,
+    /// Name → function id map.
+    pub by_name: HashMap<String, FuncId>,
+}
+
+impl CompiledModule {
+    /// Frame layout of a function by name.
+    pub fn frame(&self, name: &str) -> Option<&FrameLayout> {
+        self.by_name.get(name).map(|id| &self.frames[id.0])
+    }
+
+    /// Total encoded code size in bytes (the `.text` section).
+    pub fn code_size(&self) -> u64 {
+        self.program.text_size()
+    }
+
+    /// Builds a [`Machine`] running this module under the runtime hooks of
+    /// the scheme it was compiled with.
+    pub fn into_machine(self, seed: u64) -> Machine {
+        let hooks = self.scheme.scheme().runtime_hooks(seed ^ 0xB007_0000_0000_0001);
+        Machine::new(self.program, hooks, seed)
+    }
+}
+
+/// The MiniC compiler, parameterised by a canary scheme.
+pub struct Compiler {
+    scheme_kind: SchemeKind,
+    scheme: Box<dyn CanaryScheme>,
+    passes: PassManager,
+    overrides: HashMap<String, SchemeKind>,
+}
+
+impl std::fmt::Debug for Compiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Compiler")
+            .field("scheme", &self.scheme_kind)
+            .field("overrides", &self.overrides)
+            .finish()
+    }
+}
+
+impl Compiler {
+    /// Creates a compiler that protects every function with `kind`.
+    pub fn new(kind: SchemeKind) -> Self {
+        Compiler {
+            scheme_kind: kind,
+            scheme: kind.scheme(),
+            passes: PassManager::standard(),
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Overrides the scheme for a single function — used by the
+    /// compatibility experiments of §VI-C, where P-SSP code and SSP code are
+    /// mixed in the same binary (e.g. application vs glibc).
+    #[must_use]
+    pub fn with_function_scheme(mut self, function: impl Into<String>, kind: SchemeKind) -> Self {
+        self.overrides.insert(function.into(), kind);
+        self
+    }
+
+    /// The scheme this compiler applies by default.
+    pub fn scheme_kind(&self) -> SchemeKind {
+        self.scheme_kind
+    }
+
+    /// Compiles `module` into an executable program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the module fails validation or a frame
+    /// cannot be laid out.
+    pub fn compile(&self, module: &ModuleDef) -> Result<CompiledModule, CompileError> {
+        module.validate()?;
+
+        // Function ids are assigned by declaration order.
+        let ids: HashMap<String, FuncId> = module
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FuncId(i)))
+            .collect();
+
+        let mut program = Program::new();
+        let mut frames = Vec::with_capacity(module.functions.len());
+        let mut function_schemes = Vec::with_capacity(module.functions.len());
+
+        for func in &module.functions {
+            let kind = self.overrides.get(&func.name).copied().unwrap_or(self.scheme_kind);
+            let scheme: Box<dyn CanaryScheme>;
+            let scheme_ref: &dyn CanaryScheme = if kind == self.scheme_kind {
+                self.scheme.as_ref()
+            } else {
+                scheme = kind.scheme();
+                scheme.as_ref()
+            };
+
+            let analysis = self.passes.run(func);
+            let layout = layout_frame(func, scheme_ref)?;
+            debug_assert_eq!(analysis.needs_protection, layout.info.protected);
+
+            let insts = lower_function(func, &layout, scheme_ref, &ids)?;
+            program
+                .add_function(func.name.clone(), insts)
+                .map_err(|_| CompileError::DuplicateFunction { name: func.name.clone() })?;
+            frames.push(layout);
+            function_schemes.push(kind);
+        }
+
+        let entry = ids[&module.entry];
+        program.set_entry(entry);
+        program.finalize();
+
+        Ok(CompiledModule {
+            program,
+            scheme: self.scheme_kind,
+            frames,
+            function_schemes,
+            by_name: ids,
+        })
+    }
+}
+
+/// Lowers one function to VM instructions.
+fn lower_function(
+    func: &crate::ir::FunctionDef,
+    layout: &FrameLayout,
+    scheme: &dyn CanaryScheme,
+    ids: &HashMap<String, FuncId>,
+) -> Result<Vec<Inst>, CompileError> {
+    let mut insts = Vec::new();
+
+    // Frame establishment (Code 1, lines 1–3).
+    insts.push(Inst::PushReg(Reg::Rbp));
+    insts.push(Inst::MovRegReg { dst: Reg::Rbp, src: Reg::Rsp });
+    if layout.info.frame_size > 0 {
+        insts.push(Inst::SubRspImm(layout.info.frame_size));
+    }
+
+    // Scheme prologue.
+    insts.extend(scheme.emit_prologue(&layout.info));
+
+    // Body.
+    for stmt in &func.body {
+        match stmt {
+            Stmt::Compute { cycles } => insts.push(Inst::Compute(*cycles)),
+            Stmt::WriteBuffer { local, source } => {
+                let offset = layout.local_offset(*local);
+                match source {
+                    WriteSource::InputUnbounded => {
+                        insts.push(Inst::CopyInputToFrame { offset });
+                    }
+                    WriteSource::InputBounded => {
+                        let max_len = func.locals[*local].kind.size();
+                        insts.push(Inst::CopyInputToFrameBounded { offset, max_len });
+                    }
+                }
+            }
+            Stmt::Call { callee } => {
+                let id = ids.get(callee).copied().ok_or_else(|| CompileError::UnknownCallee {
+                    function: func.name.clone(),
+                    callee: callee.clone(),
+                })?;
+                insts.push(Inst::CallFn(id));
+            }
+            Stmt::SetReturn { value } => {
+                insts.push(Inst::MovImmToReg { dst: Reg::Rax, imm: *value });
+            }
+            Stmt::LeakFrame { local, words } => {
+                let base = layout.local_offset(*local);
+                for w in 0..*words {
+                    insts.push(Inst::MovFrameToReg { dst: Reg::Rax, offset: base + 8 * w as i32 });
+                    insts.push(Inst::OutputReg(Reg::Rax));
+                }
+            }
+        }
+    }
+
+    // Scheme epilogue followed by frame teardown (Code 2, lines 6–8).
+    insts.extend(scheme.emit_epilogue(&layout.info));
+    insts.push(Inst::Leave);
+    insts.push(Inst::Ret);
+    Ok(insts)
+}
+
+/// Code-expansion report for Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeExpansion {
+    /// Size of the module compiled without protection.
+    pub native_bytes: u64,
+    /// Size of the module compiled with the scheme under test.
+    pub scheme_bytes: u64,
+}
+
+impl CodeExpansion {
+    /// Expansion as a fraction (0.0027 ≙ 0.27 %).
+    pub fn ratio(&self) -> f64 {
+        if self.native_bytes == 0 {
+            0.0
+        } else {
+            (self.scheme_bytes as f64 - self.native_bytes as f64) / self.native_bytes as f64
+        }
+    }
+
+    /// Expansion in percent.
+    pub fn percent(&self) -> f64 {
+        self.ratio() * 100.0
+    }
+}
+
+/// Measures the code expansion of compiling `module` with `kind` relative to
+/// the unprotected build (Table II's "Compilation" column).
+///
+/// # Errors
+///
+/// Propagates compilation errors from either build.
+pub fn code_expansion(module: &ModuleDef, kind: SchemeKind) -> Result<CodeExpansion, CompileError> {
+    let native = Compiler::new(SchemeKind::Native).compile(module)?.code_size();
+    let scheme = Compiler::new(kind).compile(module)?.code_size();
+    Ok(CodeExpansion { native_bytes: native, scheme_bytes: scheme })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FunctionBuilder, ModuleBuilder};
+    use polycanary_vm::cpu::Exit;
+    use polycanary_vm::machine::Machine;
+
+    fn victim_module() -> ModuleDef {
+        ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("handle_request")
+                    .buffer("buf", 64)
+                    .vulnerable_copy("buf")
+                    .compute(200)
+                    .returns(0)
+                    .build(),
+            )
+            .function(
+                FunctionBuilder::new("main")
+                    .scalar("status")
+                    .call("handle_request")
+                    .returns(0)
+                    .build(),
+            )
+            .entry("main")
+            .build()
+            .unwrap()
+    }
+
+    fn run_with_input(kind: SchemeKind, input: Vec<u8>) -> Exit {
+        let compiled = Compiler::new(kind).compile(&victim_module()).unwrap();
+        let mut machine = compiled.into_machine(0xFEED);
+        let mut process = machine.spawn();
+        process.set_input(input);
+        machine.run(&mut process).unwrap().exit
+    }
+
+    #[test]
+    fn benign_input_runs_normally_under_every_scheme() {
+        for kind in SchemeKind::ALL {
+            let exit = run_with_input(kind, vec![0x41; 16]);
+            assert!(exit.is_normal(), "{kind}: {exit:?}");
+        }
+    }
+
+    #[test]
+    fn overflow_is_detected_by_every_protected_scheme() {
+        // 64-byte buffer + enough to clobber every canary layout and the
+        // saved frame pointer and return address.
+        let overflow = vec![0x41u8; 64 + 48];
+        for kind in SchemeKind::ALL {
+            let exit = run_with_input(kind, overflow.clone());
+            if kind == SchemeKind::Native {
+                assert!(!exit.is_detection(), "native has no canary to fire");
+            } else {
+                assert!(exit.is_detection(), "{kind} must detect the smash: {exit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_frames_are_recorded_per_function() {
+        let compiled = Compiler::new(SchemeKind::Pssp).compile(&victim_module()).unwrap();
+        let frame = compiled.frame("handle_request").unwrap();
+        assert!(frame.info.protected);
+        assert_eq!(frame.canary_words, 2);
+        let main_frame = compiled.frame("main").unwrap();
+        assert!(!main_frame.info.protected);
+        assert!(compiled.frame("missing").is_none());
+    }
+
+    #[test]
+    fn function_scheme_overrides_apply() {
+        let compiled = Compiler::new(SchemeKind::Pssp)
+            .with_function_scheme("handle_request", SchemeKind::Ssp)
+            .compile(&victim_module())
+            .unwrap();
+        assert_eq!(compiled.function_schemes[0], SchemeKind::Ssp);
+        assert_eq!(compiled.function_schemes[1], SchemeKind::Pssp);
+        // The overridden function has the SSP frame (one canary word).
+        assert_eq!(compiled.frame("handle_request").unwrap().canary_words, 1);
+    }
+
+    #[test]
+    fn mixed_ssp_and_pssp_module_runs_without_false_positives() {
+        // §VI-C compatibility: SSP functions and P-SSP functions coexist in
+        // one control flow under the P-SSP runtime.
+        let compiled = Compiler::new(SchemeKind::Pssp)
+            .with_function_scheme("handle_request", SchemeKind::Ssp)
+            .compile(&victim_module())
+            .unwrap();
+        let hooks = SchemeKind::Pssp.scheme().runtime_hooks(1);
+        let mut machine = Machine::new(compiled.program, hooks, 7);
+        let mut process = machine.spawn();
+        process.set_input(vec![1, 2, 3]);
+        let outcome = machine.run(&mut process).unwrap();
+        assert!(outcome.exit.is_normal(), "{:?}", outcome.exit);
+    }
+
+    #[test]
+    fn code_expansion_is_positive_for_pssp() {
+        let expansion = code_expansion(&victim_module(), SchemeKind::Pssp).unwrap();
+        assert!(expansion.scheme_bytes > expansion.native_bytes);
+        assert!(expansion.percent() > 0.0);
+    }
+
+    #[test]
+    fn code_expansion_is_small_for_realistic_function_bodies() {
+        // Table II reports 0.27 % expansion on SPEC-sized programs: the
+        // canary handling is a fixed few dozen bytes per function, so the
+        // ratio shrinks as function bodies grow.  Model a program whose
+        // functions carry realistic amounts of body code.
+        let mut builder = ModuleBuilder::new();
+        for i in 0..8 {
+            let mut f = FunctionBuilder::new(format!("work_{i}")).buffer("buf", 64).safe_copy("buf");
+            for _ in 0..200 {
+                f = f.compute(50);
+            }
+            builder = builder.function(f.returns(0).build());
+        }
+        let module = builder.build().unwrap();
+        let expansion = code_expansion(&module, SchemeKind::Pssp).unwrap();
+        assert!(expansion.percent() > 0.0);
+        assert!(
+            expansion.percent() < 2.0,
+            "expansion on body-heavy programs should be small, got {:.2}%",
+            expansion.percent()
+        );
+    }
+
+    #[test]
+    fn pssp_costs_more_bytes_than_ssp_which_costs_more_than_native() {
+        let module = victim_module();
+        let native = Compiler::new(SchemeKind::Native).compile(&module).unwrap().code_size();
+        let ssp = Compiler::new(SchemeKind::Ssp).compile(&module).unwrap().code_size();
+        let pssp = Compiler::new(SchemeKind::Pssp).compile(&module).unwrap().code_size();
+        assert!(native < ssp);
+        assert!(ssp < pssp);
+    }
+
+    #[test]
+    fn unknown_callee_is_rejected_at_compile_time() {
+        let module = ModuleDef {
+            functions: vec![FunctionBuilder::new("main").call("ghost").build()],
+            entry: "main".into(),
+        };
+        let err = Compiler::new(SchemeKind::Ssp).compile(&module).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownCallee { .. }));
+    }
+
+    #[test]
+    fn leak_statement_discloses_stack_words() {
+        let module = ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("leaky")
+                    .buffer("buf", 16)
+                    .safe_copy("buf")
+                    .leak("buf", 4)
+                    .returns(0)
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let compiled = Compiler::new(SchemeKind::Ssp).compile(&module).unwrap();
+        let mut machine = compiled.into_machine(3);
+        let mut process = machine.spawn();
+        process.set_input(b"AAAABBBBCCCCDDDD".to_vec());
+        let outcome = machine.run(&mut process).unwrap();
+        assert!(outcome.exit.is_normal());
+        let output = process.take_output();
+        // 4 words = 32 bytes: the 16 buffer bytes plus 16 bytes beyond them
+        // (which, under SSP, include the canary).
+        assert_eq!(output.len(), 32);
+        assert_eq!(&output[..16], b"AAAABBBBCCCCDDDD");
+    }
+
+    #[test]
+    fn lv_detects_overflow_that_stops_short_of_the_return_canary() {
+        // A scratch buffer sits between the critical buffer and the canary
+        // region: an overflow out of the critical buffer that corrupts only
+        // its guard canary (and part of the scratch buffer) is caught by
+        // P-SSP-LV but missed by plain P-SSP, whose canaries are untouched.
+        let module = ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("process_record")
+                    .buffer("scratch", 32)
+                    .critical_buffer("record", 32)
+                    .vulnerable_copy("record")
+                    .returns(0)
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        // Overflow by 8 bytes past `record`: under P-SSP-LV this clobbers the
+        // guard canary directly above it; under plain P-SSP it merely dents
+        // the scratch buffer, far below the split canary pair.
+        let payload = vec![0x42u8; 32 + 8];
+
+        let lv = Compiler::new(SchemeKind::PsspLv).compile(&module).unwrap();
+        let mut machine = lv.into_machine(5);
+        let mut process = machine.spawn();
+        process.set_input(payload.clone());
+        assert!(machine.run(&mut process).unwrap().exit.is_detection());
+
+        let pssp = Compiler::new(SchemeKind::Pssp).compile(&module).unwrap();
+        let mut machine = pssp.into_machine(5);
+        let mut process = machine.spawn();
+        process.set_input(payload);
+        let exit = machine.run(&mut process).unwrap().exit;
+        assert!(
+            exit.is_normal(),
+            "plain P-SSP misses a local-variable-only overflow: {exit:?}"
+        );
+    }
+}

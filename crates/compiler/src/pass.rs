@@ -1,0 +1,206 @@
+//! The pass framework mirroring the paper's LLVM deployment (§V-B).
+//!
+//! The real P-SSP plugin is a `FunctionPass` registered with LLVM's pass
+//! manager whose `runOnFunction` decides, per function, whether a canary is
+//! needed and which locals deserve extra protection.  The MiniC compiler
+//! keeps the same structure: a [`PassManager`] runs a pipeline of
+//! [`FunctionPass`]es over each function and accumulates a
+//! [`FunctionAnalysis`] that the code generator then consumes.
+
+use crate::ir::FunctionDef;
+
+/// Per-function facts accumulated by the analysis passes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FunctionAnalysis {
+    /// Whether the stack-protector policy applies (a local buffer exists).
+    pub needs_protection: bool,
+    /// Declaration indices of the critical locals (P-SSP-LV candidates).
+    pub critical_locals: Vec<usize>,
+    /// Estimated body cost in cycles (sum of `Compute` statements), used by
+    /// the workload generators to sanity-check overhead ratios.
+    pub estimated_body_cycles: u64,
+    /// Names of the passes that ran, in order (for diagnostics).
+    pub passes_run: Vec<&'static str>,
+}
+
+/// One analysis pass over a single function.
+pub trait FunctionPass: Send + Sync {
+    /// The pass's name (shows up in [`FunctionAnalysis::passes_run`]).
+    fn name(&self) -> &'static str;
+
+    /// Inspects `func` and updates the accumulated analysis.
+    fn run(&self, func: &FunctionDef, analysis: &mut FunctionAnalysis);
+}
+
+/// Decides whether the function needs a canary at all — the
+/// `-fstack-protector` policy the paper's plugin re-implements: protect
+/// exactly the functions with a local buffer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StackProtectPass;
+
+impl FunctionPass for StackProtectPass {
+    fn name(&self) -> &'static str {
+        "stack-protect"
+    }
+
+    fn run(&self, func: &FunctionDef, analysis: &mut FunctionAnalysis) {
+        analysis.needs_protection = func.needs_protection();
+    }
+}
+
+/// Collects the critical locals that P-SSP-LV will guard.  The paper leaves
+/// automatic discovery as future work and marks sensitive variables
+/// manually (§V-E2); MiniC models that manual annotation with
+/// `CriticalBuffer`, and this pass simply collects the annotations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CriticalVariablePass;
+
+impl FunctionPass for CriticalVariablePass {
+    fn name(&self) -> &'static str {
+        "critical-variables"
+    }
+
+    fn run(&self, func: &FunctionDef, analysis: &mut FunctionAnalysis) {
+        analysis.critical_locals = func.critical_locals();
+    }
+}
+
+/// Estimates the body cost of the function in cycles.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CostEstimationPass;
+
+impl FunctionPass for CostEstimationPass {
+    fn name(&self) -> &'static str {
+        "cost-estimation"
+    }
+
+    fn run(&self, func: &FunctionDef, analysis: &mut FunctionAnalysis) {
+        analysis.estimated_body_cycles = func
+            .body
+            .iter()
+            .map(|stmt| match stmt {
+                crate::ir::Stmt::Compute { cycles } => *cycles,
+                _ => 0,
+            })
+            .sum();
+    }
+}
+
+/// A pipeline of function passes.
+pub struct PassManager {
+    passes: Vec<Box<dyn FunctionPass>>,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<_> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("PassManager").field("passes", &names).finish()
+    }
+}
+
+impl PassManager {
+    /// An empty pass manager.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// The standard pipeline used by the compiler: protection policy,
+    /// critical-variable collection and cost estimation.
+    pub fn standard() -> Self {
+        let mut pm = Self::new();
+        pm.register(Box::new(StackProtectPass));
+        pm.register(Box::new(CriticalVariablePass));
+        pm.register(Box::new(CostEstimationPass));
+        pm
+    }
+
+    /// Registers an additional pass at the end of the pipeline.
+    pub fn register(&mut self, pass: Box<dyn FunctionPass>) {
+        self.passes.push(pass);
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs the pipeline over one function.
+    pub fn run(&self, func: &FunctionDef) -> FunctionAnalysis {
+        let mut analysis = FunctionAnalysis::default();
+        for pass in &self.passes {
+            pass.run(func, &mut analysis);
+            analysis.passes_run.push(pass.name());
+        }
+        analysis
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FunctionBuilder;
+
+    #[test]
+    fn standard_pipeline_runs_all_passes() {
+        let func = FunctionBuilder::new("f")
+            .buffer("buf", 32)
+            .critical_buffer("secret", 16)
+            .compute(100)
+            .compute(250)
+            .build();
+        let analysis = PassManager::standard().run(&func);
+        assert!(analysis.needs_protection);
+        assert_eq!(analysis.critical_locals, vec![1]);
+        assert_eq!(analysis.estimated_body_cycles, 350);
+        assert_eq!(
+            analysis.passes_run,
+            vec!["stack-protect", "critical-variables", "cost-estimation"]
+        );
+    }
+
+    #[test]
+    fn functions_without_buffers_are_not_protected() {
+        let func = FunctionBuilder::new("leaf").scalar("x").compute(10).build();
+        let analysis = PassManager::standard().run(&func);
+        assert!(!analysis.needs_protection);
+        assert!(analysis.critical_locals.is_empty());
+    }
+
+    #[test]
+    fn custom_passes_can_be_registered() {
+        struct CountLocals;
+        impl FunctionPass for CountLocals {
+            fn name(&self) -> &'static str {
+                "count-locals"
+            }
+            fn run(&self, func: &FunctionDef, analysis: &mut FunctionAnalysis) {
+                analysis.estimated_body_cycles += func.locals.len() as u64;
+            }
+        }
+        let mut pm = PassManager::new();
+        pm.register(Box::new(CountLocals));
+        assert_eq!(pm.len(), 1);
+        assert!(!pm.is_empty());
+        let func = FunctionBuilder::new("f").scalar("a").scalar("b").build();
+        assert_eq!(pm.run(&func).estimated_body_cycles, 2);
+    }
+
+    #[test]
+    fn empty_pass_manager_produces_default_analysis() {
+        let func = FunctionBuilder::new("f").buffer("buf", 8).build();
+        let analysis = PassManager::new().run(&func);
+        assert!(!analysis.needs_protection);
+        assert!(analysis.passes_run.is_empty());
+    }
+}

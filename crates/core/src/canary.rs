@@ -1,0 +1,162 @@
+//! Canary values and their split (polymorphic) representation.
+
+use std::fmt;
+
+/// Number of bytes in a canary word (64-bit platform, as in the paper).
+pub const CANARY_BYTES: usize = 8;
+
+/// A split stack canary `(C0, C1)` with the invariant `C0 ⊕ C1 = C`, where
+/// `C` is the TLS canary (§III-B of the paper).
+///
+/// ```
+/// use polycanary_core::canary::SplitCanary;
+///
+/// let tls_canary = 0xDEAD_BEEF_CAFE_F00D;
+/// let split = SplitCanary::new(0x1234_5678_9ABC_DEF0, tls_canary ^ 0x1234_5678_9ABC_DEF0);
+/// assert!(split.verifies(tls_canary));
+/// assert_eq!(split.combined(), tls_canary);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitCanary {
+    /// The random half `C0`.
+    pub c0: u64,
+    /// The bound half `C1 = C0 ⊕ C`.
+    pub c1: u64,
+}
+
+impl SplitCanary {
+    /// Creates a split canary from its two halves.
+    pub fn new(c0: u64, c1: u64) -> Self {
+        SplitCanary { c0, c1 }
+    }
+
+    /// The value `C0 ⊕ C1` that the epilogue compares against the TLS canary.
+    pub fn combined(&self) -> u64 {
+        self.c0 ^ self.c1
+    }
+
+    /// Whether this split canary is consistent with the TLS canary `c`.
+    pub fn verifies(&self, c: u64) -> bool {
+        self.combined() == c
+    }
+
+    /// Packs two 32-bit halves into a single word, the representation used
+    /// by the binary-instrumentation variant (§V-C): the low word is `C0`,
+    /// the high word is `C1`, and `C0 ⊕ C1` must equal the low 32 bits of
+    /// the TLS canary.
+    pub fn pack32(c0: u32, c1: u32) -> u64 {
+        (u64::from(c1) << 32) | u64::from(c0)
+    }
+
+    /// Splits a packed 32-bit pair back into `(C0, C1)`.
+    pub fn unpack32(packed: u64) -> (u32, u32) {
+        ((packed & 0xFFFF_FFFF) as u32, (packed >> 32) as u32)
+    }
+
+    /// Whether a packed 32-bit pair is consistent with the TLS canary `c`
+    /// (only its low 32 bits participate, as in the rewriter's check).
+    pub fn verifies_packed32(packed: u64, c: u64) -> bool {
+        let (c0, c1) = Self::unpack32(packed);
+        (c0 ^ c1) == (c & 0xFFFF_FFFF) as u32
+    }
+}
+
+impl fmt::Display for SplitCanary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(C0={:#018x}, C1={:#018x})", self.c0, self.c1)
+    }
+}
+
+/// Extracts byte `index` (0 = least significant / lowest address on a
+/// little-endian stack) from a canary word.  The byte-by-byte attack guesses
+/// canaries in exactly this order.
+pub fn canary_byte(canary: u64, index: usize) -> u8 {
+    assert!(index < CANARY_BYTES, "byte index out of range");
+    ((canary >> (8 * index)) & 0xFF) as u8
+}
+
+/// Replaces byte `index` of `canary` with `value`.
+pub fn with_canary_byte(canary: u64, index: usize, value: u8) -> u64 {
+    assert!(index < CANARY_BYTES, "byte index out of range");
+    let shift = 8 * index;
+    (canary & !(0xFFu64 << shift)) | (u64::from(value) << shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn combined_is_xor() {
+        let s = SplitCanary::new(0b1010, 0b0110);
+        assert_eq!(s.combined(), 0b1100);
+    }
+
+    #[test]
+    fn verifies_against_matching_tls_canary() {
+        let c = 0xAABB_CCDD_EEFF_1122;
+        let s = SplitCanary::new(0x1111, c ^ 0x1111);
+        assert!(s.verifies(c));
+        assert!(!s.verifies(c ^ 1));
+    }
+
+    #[test]
+    fn pack32_roundtrip() {
+        let packed = SplitCanary::pack32(0x1234_5678, 0x9ABC_DEF0);
+        assert_eq!(SplitCanary::unpack32(packed), (0x1234_5678, 0x9ABC_DEF0));
+    }
+
+    #[test]
+    fn packed32_verification_uses_low_half_of_tls_canary() {
+        let c: u64 = 0xFFFF_FFFF_0000_1234;
+        let c0: u32 = 0xAAAA_AAAA;
+        let c1: u32 = c0 ^ 0x0000_1234;
+        assert!(SplitCanary::verifies_packed32(SplitCanary::pack32(c0, c1), c));
+        assert!(!SplitCanary::verifies_packed32(SplitCanary::pack32(c0, c1 ^ 1), c));
+    }
+
+    #[test]
+    fn byte_extraction_is_little_endian() {
+        let c = 0x8877_6655_4433_2211u64;
+        assert_eq!(canary_byte(c, 0), 0x11);
+        assert_eq!(canary_byte(c, 7), 0x88);
+    }
+
+    #[test]
+    fn with_byte_replaces_only_target_byte() {
+        let c = 0x8877_6655_4433_2211u64;
+        let modified = with_canary_byte(c, 2, 0xFF);
+        assert_eq!(modified, 0x8877_6655_44FF_2211);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte index out of range")]
+    fn byte_index_out_of_range_panics() {
+        let _ = canary_byte(0, 8);
+    }
+
+    #[test]
+    fn display_mentions_both_halves() {
+        let s = SplitCanary::new(1, 2);
+        let out = s.to_string();
+        assert!(out.contains("C0") && out.contains("C1"));
+    }
+
+    proptest! {
+        #[test]
+        fn reassembling_bytes_recovers_canary(c in any::<u64>()) {
+            let mut rebuilt = 0u64;
+            for i in 0..CANARY_BYTES {
+                rebuilt = with_canary_byte(rebuilt, i, canary_byte(c, i));
+            }
+            prop_assert_eq!(rebuilt, c);
+        }
+
+        #[test]
+        fn split_always_verifies_when_constructed_from_tls(c in any::<u64>(), c0 in any::<u64>()) {
+            let s = SplitCanary::new(c0, c0 ^ c);
+            prop_assert!(s.verifies(c));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Algorithm 1 of the paper: canary re-randomization.
+//!
+//! `Re-Randomize(C)` draws a fresh random word `C0` and returns the pair
+//! `(C0, C1 = C0 ⊕ C)`.  The outputs have two properties the whole P-SSP
+//! design rests on (§III-B/III-C):
+//!
+//! 1. `C0 ⊕ C1 = C`, so a function epilogue can verify the stack canary
+//!    against the *unchanged* TLS canary, and
+//! 2. each invocation is independent of every previous one, so the exposure
+//!    of any number of past `(C0, C1)` pairs gives the adversary no
+//!    information about `C` (Theorem 1).
+
+use polycanary_crypto::Prng;
+
+use crate::canary::SplitCanary;
+
+/// Runs Algorithm 1: returns `(C0, C1)` with `C0 ⊕ C1 = tls_canary`.
+pub fn re_randomize(tls_canary: u64, rng: &mut dyn Prng) -> SplitCanary {
+    let c0 = rng.next_u64();
+    SplitCanary::new(c0, c0 ^ tls_canary)
+}
+
+/// 32-bit variant used by the binary-instrumentation deployment (§V-C),
+/// which downgrades the canary to two 32-bit halves so the stack layout of
+/// SSP-compiled code is preserved.  Returns the packed word whose low half is
+/// `C0` and whose high half is `C1`, with `C0 ⊕ C1` equal to the low 32 bits
+/// of the TLS canary.
+pub fn re_randomize_packed32(tls_canary: u64, rng: &mut dyn Prng) -> u64 {
+    let c0 = (rng.next_u64() & 0xFFFF_FFFF) as u32;
+    let c1 = c0 ^ (tls_canary & 0xFFFF_FFFF) as u32;
+    SplitCanary::pack32(c0, c1)
+}
+
+/// Re-randomization for P-SSP-LV (Algorithm 2): given the TLS canary and the
+/// number of canaries to place in the frame, returns the canary values in
+/// push order.  All but the last are random; the last is chosen so that the
+/// XOR of all of them equals the TLS canary.
+///
+/// # Panics
+///
+/// Panics if `count` is zero — a protected frame always has at least the
+/// return-address canary.
+pub fn re_randomize_many(tls_canary: u64, count: usize, rng: &mut dyn Prng) -> Vec<u64> {
+    assert!(count > 0, "a protected frame has at least one canary");
+    let mut canaries = Vec::with_capacity(count);
+    let mut acc = tls_canary;
+    for _ in 0..count - 1 {
+        let c = rng.next_u64();
+        acc ^= c;
+        canaries.push(c);
+    }
+    canaries.push(acc);
+    canaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycanary_crypto::SplitMix64;
+    use proptest::prelude::*;
+
+    #[test]
+    fn output_pair_xors_to_tls_canary() {
+        let mut rng = SplitMix64::new(7);
+        let c = 0x0123_4567_89AB_CDEF;
+        let split = re_randomize(c, &mut rng);
+        assert!(split.verifies(c));
+    }
+
+    #[test]
+    fn consecutive_invocations_are_distinct() {
+        let mut rng = SplitMix64::new(7);
+        let c = 42;
+        let a = re_randomize(c, &mut rng);
+        let b = re_randomize(c, &mut rng);
+        assert_ne!(a, b, "every fork must receive a fresh pair");
+        assert!(a.verifies(c) && b.verifies(c));
+    }
+
+    #[test]
+    fn packed32_variant_verifies_against_low_half() {
+        let mut rng = SplitMix64::new(9);
+        let c = 0xFFFF_0000_1234_5678u64;
+        for _ in 0..100 {
+            let packed = re_randomize_packed32(c, &mut rng);
+            assert!(SplitCanary::verifies_packed32(packed, c));
+        }
+    }
+
+    #[test]
+    fn many_variant_xors_to_tls_canary() {
+        let mut rng = SplitMix64::new(11);
+        for count in 1..=8 {
+            let c = rng.next_u64();
+            let canaries = re_randomize_many(c, count, &mut rng);
+            assert_eq!(canaries.len(), count);
+            assert_eq!(canaries.iter().fold(0, |a, b| a ^ b), c);
+        }
+    }
+
+    #[test]
+    fn many_variant_single_canary_is_tls_canary() {
+        // With one canary there is nothing to randomise: the only value
+        // consistent with the invariant is C itself (this is exactly SSP).
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(re_randomize_many(0xABCD, 1, &mut rng), vec![0xABCD]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one canary")]
+    fn many_variant_rejects_zero() {
+        let mut rng = SplitMix64::new(1);
+        let _ = re_randomize_many(1, 0, &mut rng);
+    }
+
+    #[test]
+    fn exposure_of_c1_reveals_nothing_about_c() {
+        // Statistical version of Theorem 1 (n = 1): over many draws of C0,
+        // the distribution of C1 = C0 ^ C for a *fixed* C is indistinguishable
+        // from uniform, so observing C1 does not narrow down C.  We check a
+        // necessary condition: each bit of C1 is ~50% one.
+        let mut rng = SplitMix64::new(123);
+        let c = 0xDEAD_BEEF_DEAD_BEEF;
+        let n = 4000;
+        let mut bit_counts = [0u32; 64];
+        for _ in 0..n {
+            let split = re_randomize(c, &mut rng);
+            for (bit, count) in bit_counts.iter_mut().enumerate() {
+                if (split.c1 >> bit) & 1 == 1 {
+                    *count += 1;
+                }
+            }
+        }
+        for (bit, count) in bit_counts.iter().enumerate() {
+            let frac = f64::from(*count) / f64::from(n);
+            assert!((0.44..=0.56).contains(&frac), "bit {bit} biased: {frac}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn rerandomize_invariant_holds_for_all_inputs(c in any::<u64>(), seed in any::<u64>()) {
+            let mut rng = SplitMix64::new(seed);
+            let split = re_randomize(c, &mut rng);
+            prop_assert_eq!(split.c0 ^ split.c1, c);
+        }
+
+        #[test]
+        fn many_invariant_holds(c in any::<u64>(), seed in any::<u64>(), count in 1usize..12) {
+            let mut rng = SplitMix64::new(seed);
+            let canaries = re_randomize_many(c, count, &mut rng);
+            prop_assert_eq!(canaries.iter().fold(0u64, |a, b| a ^ b), c);
+        }
+    }
+}

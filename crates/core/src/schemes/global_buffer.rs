@@ -1,0 +1,175 @@
+//! The layout-preserving global-buffer variant of §VII-C (Figure 6).
+//!
+//! The discussion section of the paper proposes a way to keep the 64-bit
+//! canary *and* the SSP stack layout: the stack frame stores only `C0`
+//! (one word, exactly like SSP), while the matching `C1 = C0 ⊕ C` lives in a
+//! per-thread global buffer that is cloned on `fork()` together with the rest
+//! of the address space.  Because the buffer is cloned, a child returning
+//! into frames created by its parent still finds the matching `C1` entries
+//! — the correctness pitfall of the naive "`C0` in TLS" idea described in
+//! the same section is avoided.
+//!
+//! The paper sketches the design but does not implement it; this module
+//! provides a semantic-level implementation operating directly on a
+//! [`Process`] (rather than through emitted instructions) so the
+//! fork-and-return-to-parent scenario can be exercised and measured.
+
+use polycanary_crypto::Prng;
+use polycanary_vm::error::VmError;
+use polycanary_vm::mem::GLOBAL_BASE;
+use polycanary_vm::process::Process;
+
+use crate::canary::SplitCanary;
+
+/// Offset (from the globals base) of the entry counter of the canary buffer.
+const COUNTER_OFFSET: u64 = 0;
+/// Offset of the first `C1` entry.
+const ENTRIES_OFFSET: u64 = 8;
+
+/// Handle for the per-process global canary buffer of Figure 6.
+///
+/// The buffer lives at the start of the globals segment: one counter word
+/// followed by one `C1` word per live stack canary, pushed and popped in
+/// call order like a shadow stack of canary complements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalBufferPssp;
+
+impl GlobalBufferPssp {
+    /// Number of live entries in `process`'s buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors from the globals segment (cannot happen for
+    /// well-formed processes).
+    pub fn depth(process: &Process) -> Result<u64, VmError> {
+        process.memory.read_u64(GLOBAL_BASE + COUNTER_OFFSET)
+    }
+
+    /// Function-prologue action: draw a fresh `C0`, push the matching `C1`
+    /// into the global buffer and return the `C0` value that the prologue
+    /// stores in the (single, SSP-sized) stack canary slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the globals segment is exhausted.
+    pub fn prologue(process: &mut Process, rng: &mut dyn Prng) -> Result<u64, VmError> {
+        let c = process.tls.canary();
+        let split = SplitCanary::new(rng.next_u64(), 0);
+        let c0 = split.c0;
+        let c1 = c0 ^ c;
+        let depth = Self::depth(process)?;
+        let entry_addr = GLOBAL_BASE + ENTRIES_OFFSET + 8 * depth;
+        process.memory.write_u64(entry_addr, c1)?;
+        process.memory.write_u64(GLOBAL_BASE + COUNTER_OFFSET, depth + 1)?;
+        Ok(c0)
+    }
+
+    /// Function-epilogue action: pop the top `C1` entry and check it against
+    /// the `C0` found in the stack slot.  Returns `true` when the canary
+    /// verifies.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer is empty (epilogue without prologue) or
+    /// the globals segment is inaccessible.
+    pub fn epilogue(process: &mut Process, stack_c0: u64) -> Result<bool, VmError> {
+        let depth = Self::depth(process)?;
+        if depth == 0 {
+            return Err(VmError::UnmappedAddress { addr: GLOBAL_BASE + ENTRIES_OFFSET });
+        }
+        let entry_addr = GLOBAL_BASE + ENTRIES_OFFSET + 8 * (depth - 1);
+        let c1 = process.memory.read_u64(entry_addr)?;
+        process.memory.write_u64(GLOBAL_BASE + COUNTER_OFFSET, depth - 1)?;
+        Ok((stack_c0 ^ c1) == process.tls.canary())
+    }
+
+    /// Refreshes the `C1` entries of a *child* process after fork so that the
+    /// child uses fresh randomness for frames it creates, while the inherited
+    /// entries (depth ≤ the fork point) are left untouched — they must stay
+    /// consistent with the `C0` values already on the inherited stack.
+    pub fn on_fork_child(_child: &mut Process) {
+        // Nothing to do: the buffer was cloned together with the globals
+        // segment, so inherited frames remain verifiable.  Fresh frames pick
+        // fresh C0/C1 pairs in their own prologues.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycanary_crypto::SplitMix64;
+    use polycanary_vm::mem::DEFAULT_STACK_SIZE;
+    use polycanary_vm::process::Pid;
+
+    fn proc_with_canary(c: u64) -> Process {
+        let mut p = Process::new(Pid(1), 9, DEFAULT_STACK_SIZE);
+        p.tls.set_canary(c);
+        p
+    }
+
+    #[test]
+    fn prologue_epilogue_roundtrip_verifies() {
+        let mut p = proc_with_canary(0xAABB_CCDD_1122_3344);
+        let mut rng = SplitMix64::new(4);
+        let c0 = GlobalBufferPssp::prologue(&mut p, &mut rng).unwrap();
+        assert_eq!(GlobalBufferPssp::depth(&p).unwrap(), 1);
+        assert!(GlobalBufferPssp::epilogue(&mut p, c0).unwrap());
+        assert_eq!(GlobalBufferPssp::depth(&p).unwrap(), 0);
+    }
+
+    #[test]
+    fn corrupted_stack_c0_fails_verification() {
+        let mut p = proc_with_canary(42);
+        let mut rng = SplitMix64::new(4);
+        let c0 = GlobalBufferPssp::prologue(&mut p, &mut rng).unwrap();
+        assert!(!GlobalBufferPssp::epilogue(&mut p, c0 ^ 0xFF).unwrap());
+    }
+
+    #[test]
+    fn nested_frames_pop_in_lifo_order() {
+        let mut p = proc_with_canary(7);
+        let mut rng = SplitMix64::new(5);
+        let outer = GlobalBufferPssp::prologue(&mut p, &mut rng).unwrap();
+        let inner = GlobalBufferPssp::prologue(&mut p, &mut rng).unwrap();
+        assert_ne!(outer, inner, "each frame gets a fresh C0");
+        assert!(GlobalBufferPssp::epilogue(&mut p, inner).unwrap());
+        assert!(GlobalBufferPssp::epilogue(&mut p, outer).unwrap());
+    }
+
+    #[test]
+    fn child_returning_into_parent_frames_still_verifies() {
+        // The Figure 6 scenario: the parent pushes frames, forks, and the
+        // child later returns through the inherited frames.
+        let mut parent = proc_with_canary(0xDEAD_BEEF);
+        let mut rng = SplitMix64::new(6);
+        let parent_c0 = GlobalBufferPssp::prologue(&mut parent, &mut rng).unwrap();
+        let mut child = parent.fork(Pid(2));
+        GlobalBufferPssp::on_fork_child(&mut child);
+        // The child creates and destroys its own frame ...
+        let child_c0 = GlobalBufferPssp::prologue(&mut child, &mut rng).unwrap();
+        assert!(GlobalBufferPssp::epilogue(&mut child, child_c0).unwrap());
+        // ... and then returns into the frame inherited from the parent.
+        assert!(
+            GlobalBufferPssp::epilogue(&mut child, parent_c0).unwrap(),
+            "cloned global buffer must keep inherited frames verifiable"
+        );
+        // The parent is unaffected and can also unwind its own frame.
+        assert!(GlobalBufferPssp::epilogue(&mut parent, parent_c0).unwrap());
+    }
+
+    #[test]
+    fn epilogue_without_prologue_is_an_error() {
+        let mut p = proc_with_canary(1);
+        assert!(GlobalBufferPssp::epilogue(&mut p, 0).is_err());
+    }
+
+    #[test]
+    fn stack_slot_width_matches_ssp() {
+        // The variant's purpose: only C0 (one word) goes on the stack, so the
+        // frame layout is identical to SSP's single canary slot.
+        let mut p = proc_with_canary(3);
+        let mut rng = SplitMix64::new(2);
+        let c0 = GlobalBufferPssp::prologue(&mut p, &mut rng).unwrap();
+        assert_eq!(std::mem::size_of_val(&c0), 8);
+    }
+}

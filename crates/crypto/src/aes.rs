@@ -1,0 +1,373 @@
+//! Software AES-128 (FIPS-197) used to model the AES-NI instructions that the
+//! P-SSP-OWF extension relies on.
+//!
+//! The paper's prologue (Code 8) treats the TLS canary stored in `r12:r13` as
+//! an AES key and encrypts a 128-bit block containing the time stamp counter
+//! value and the saved return address.  [`Aes128`] provides exactly that
+//! primitive: a single-block, constant-size encryption keyed by two 64-bit
+//! words.  Decryption is also provided for completeness and for tests that
+//! verify the permutation property of the construction.
+
+use crate::error::CryptoError;
+
+/// Number of bytes in an AES block.
+pub const BLOCK_BYTES: usize = 16;
+/// Number of bytes in an AES-128 key.
+pub const KEY_BYTES: usize = 16;
+/// Number of AES-128 rounds.
+const ROUNDS: usize = 10;
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse AES S-box.
+const INV_SBOX: [u8; 256] = [
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7, 0xfb,
+    0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde, 0xe9, 0xcb,
+    0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42, 0xfa, 0xc3, 0x4e,
+    0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49, 0x6d, 0x8b, 0xd1, 0x25,
+    0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16, 0xd4, 0xa4, 0x5c, 0xcc, 0x5d, 0x65, 0xb6, 0x92,
+    0x6c, 0x70, 0x48, 0x50, 0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15, 0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84,
+    0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7, 0xe4, 0x58, 0x05, 0xb8, 0xb3, 0x45, 0x06,
+    0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02, 0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b,
+    0x3a, 0x91, 0x11, 0x41, 0x4f, 0x67, 0xdc, 0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73,
+    0x96, 0xac, 0x74, 0x22, 0xe7, 0xad, 0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8, 0x1c, 0x75, 0xdf, 0x6e,
+    0x47, 0xf1, 0x1a, 0x71, 0x1d, 0x29, 0xc5, 0x89, 0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b,
+    0xfc, 0x56, 0x3e, 0x4b, 0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4,
+    0x1f, 0xdd, 0xa8, 0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59, 0x27, 0x80, 0xec, 0x5f,
+    0x60, 0x51, 0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d, 0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef,
+    0xa0, 0xe0, 0x3b, 0x4d, 0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0c, 0x7d,
+];
+
+/// Round constants for the AES-128 key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiplication by `x` in GF(2^8) with the AES reduction polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    let hi = b & 0x80;
+    let mut r = b << 1;
+    if hi != 0 {
+        r ^= 0x1b;
+    }
+    r
+}
+
+/// Multiplication of two elements of GF(2^8).
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key ready for single-block encryption and decryption.
+///
+/// The construction mirrors the paper's use of AES-NI: the key is the 128-bit
+/// TLS canary held in callee-saved registers, the plaintext is the 128-bit
+/// concatenation of the time stamp counter value and the return address.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The round keys are secret material (derived from the TLS canary);
+        // never leak them through Debug output.
+        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the round-key schedule.
+    pub fn new(key: [u8; KEY_BYTES]) -> Self {
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in temp.iter_mut() {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (round, rk) in round_keys.iter_mut().enumerate() {
+            for col in 0..4 {
+                rk[4 * col..4 * col + 4].copy_from_slice(&w[4 * round + col]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Builds a cipher from a key provided as a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] if `key` is not exactly 16
+    /// bytes long.
+    pub fn from_key_slice(key: &[u8]) -> Result<Self, CryptoError> {
+        if key.len() != KEY_BYTES {
+            return Err(CryptoError::InvalidKeyLength { expected: KEY_BYTES, actual: key.len() });
+        }
+        let mut k = [0u8; KEY_BYTES];
+        k.copy_from_slice(key);
+        Ok(Self::new(k))
+    }
+
+    /// Builds a cipher keyed by two 64-bit words, mirroring the paper's use of
+    /// the `r12`/`r13` register pair as the AES key.
+    pub fn from_words(lo: u64, hi: u64) -> Self {
+        let mut key = [0u8; KEY_BYTES];
+        key[..8].copy_from_slice(&lo.to_le_bytes());
+        key[8..].copy_from_slice(&hi.to_le_bytes());
+        Self::new(key)
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_BYTES]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[ROUNDS]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_BYTES]) {
+        add_round_key(block, &self.round_keys[ROUNDS]);
+        for round in (1..ROUNDS).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts the pair `(lo, hi)` interpreted as a little-endian 128-bit
+    /// block and returns the ciphertext as a pair of 64-bit words.
+    ///
+    /// This is the exact operation performed by the P-SSP-OWF prologue where
+    /// `lo` is the time stamp counter value and `hi` is the return address.
+    pub fn encrypt_words(&self, lo: u64, hi: u64) -> (u64, u64) {
+        let mut block = [0u8; BLOCK_BYTES];
+        block[..8].copy_from_slice(&lo.to_le_bytes());
+        block[8..].copy_from_slice(&hi.to_le_bytes());
+        self.encrypt_block(&mut block);
+        let mut out_lo = [0u8; 8];
+        let mut out_hi = [0u8; 8];
+        out_lo.copy_from_slice(&block[..8]);
+        out_hi.copy_from_slice(&block[8..]);
+        (u64::from_le_bytes(out_lo), u64::from_le_bytes(out_hi))
+    }
+
+    /// Inverse of [`Aes128::encrypt_words`].
+    pub fn decrypt_words(&self, lo: u64, hi: u64) -> (u64, u64) {
+        let mut block = [0u8; BLOCK_BYTES];
+        block[..8].copy_from_slice(&lo.to_le_bytes());
+        block[8..].copy_from_slice(&hi.to_le_bytes());
+        self.decrypt_block(&mut block);
+        let mut out_lo = [0u8; 8];
+        let mut out_hi = [0u8; 8];
+        out_lo.copy_from_slice(&block[..8]);
+        out_hi.copy_from_slice(&block[8..]);
+        (u64::from_le_bytes(out_lo), u64::from_le_bytes(out_hi))
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= *k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+/// The AES state is column-major: byte `state[4*c + r]` is row `r`, column `c`.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] = gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] = gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] = gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B example vector.
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let cipher = Aes128::new(key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+    }
+
+    /// FIPS-197 Appendix C.1 (AES-128) known answer test.
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().unwrap();
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let cipher = Aes128::new(key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let cipher = Aes128::from_words(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+        let mut block = *b"polycanary test!";
+        let original = block;
+        cipher.encrypt_block(&mut block);
+        assert_ne!(block, original);
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block, original);
+    }
+
+    #[test]
+    fn word_interface_roundtrips() {
+        let cipher = Aes128::from_words(42, 1337);
+        let (c_lo, c_hi) = cipher.encrypt_words(0xdead_beef, 0xcafe_babe);
+        let (p_lo, p_hi) = cipher.decrypt_words(c_lo, c_hi);
+        assert_eq!((p_lo, p_hi), (0xdead_beef, 0xcafe_babe));
+    }
+
+    #[test]
+    fn from_key_slice_validates_length() {
+        assert!(Aes128::from_key_slice(&[0u8; 16]).is_ok());
+        let err = Aes128::from_key_slice(&[0u8; 15]).unwrap_err();
+        assert_eq!(err, CryptoError::InvalidKeyLength { expected: 16, actual: 15 });
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::from_words(1, 2);
+        let b = Aes128::from_words(1, 3);
+        assert_ne!(a.encrypt_words(7, 7), b.encrypt_words(7, 7));
+    }
+
+    #[test]
+    fn different_nonces_give_different_canaries() {
+        // This is the property P-SSP-OWF relies on: a fresh TSC nonce yields a
+        // fresh stack canary even for the same return address and key.
+        let cipher = Aes128::from_words(99, 100);
+        let ret = 0x0040_1000u64;
+        let c1 = cipher.encrypt_words(1_000, ret);
+        let c2 = cipher.encrypt_words(1_001, ret);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn debug_does_not_leak_round_keys() {
+        let cipher = Aes128::from_words(0x1111, 0x2222);
+        let dbg = format!("{cipher:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains("1111"));
+    }
+
+    #[test]
+    fn gf_multiplication_matches_known_values() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the cryptographic substrate.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+///
+/// The crate is deliberately small and total: most operations cannot fail.
+/// The error type exists for the few places where a caller can violate a
+/// precondition with data that originates outside the library (for example a
+/// key of the wrong length decoded from a byte stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A key slice had the wrong length for the requested cipher.
+    InvalidKeyLength {
+        /// Length that was expected, in bytes.
+        expected: usize,
+        /// Length that was provided, in bytes.
+        actual: usize,
+    },
+    /// A block slice had the wrong length for the requested cipher.
+    InvalidBlockLength {
+        /// Length that was expected, in bytes.
+        expected: usize,
+        /// Length that was provided, in bytes.
+        actual: usize,
+    },
+    /// The simulated hardware nonce source (time stamp counter) wrapped
+    /// around, which would repeat canary nonces.
+    NonceExhausted,
+    /// The simulated hardware random number generator signalled failure
+    /// (the real `rdrand` can transiently fail and clear the carry flag).
+    EntropyUnavailable,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidKeyLength { expected, actual } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::InvalidBlockLength { expected, actual } => {
+                write!(f, "invalid block length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::NonceExhausted => write!(f, "time stamp counter wrapped around"),
+            CryptoError::EntropyUnavailable => {
+                write!(f, "hardware entropy source transiently unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = CryptoError::InvalidKeyLength { expected: 16, actual: 4 };
+        let s = err.to_string();
+        assert!(s.starts_with("invalid key length"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CryptoError>();
+    }
+
+    #[test]
+    fn variants_compare_equal_when_identical() {
+        assert_eq!(CryptoError::NonceExhausted, CryptoError::NonceExhausted);
+        assert_ne!(
+            CryptoError::NonceExhausted,
+            CryptoError::EntropyUnavailable
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic pseudo random number generators.
+//!
+//! Every source of randomness in the polycanary workspace flows through the
+//! [`Prng`] trait so that experiments are reproducible from a single seed.
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny, fast generator mainly used for seeding and for
+//!   modelling cheap randomness (e.g. the kernel picking the initial TLS
+//!   canary at program load).
+//! * [`Xoshiro256StarStar`] — a higher-quality generator used for workload
+//!   generation and attacker strategies.
+//!
+//! Neither generator is cryptographically secure; the *security* of the
+//! schemes under test never depends on the quality of these generators
+//! because the adversary in the paper's model cannot read memory.  Where the
+//! paper relies on hardware entropy (`rdrand`) the VM routes requests through
+//! [`crate::hwrng::HardwareRng`], which wraps one of these generators while
+//! accounting for the instruction's latency.
+
+/// A deterministic, seedable source of 64-bit random values.
+///
+/// The trait is object-safe so schemes can hold a `Box<dyn Prng>`.
+pub trait Prng: Send {
+    /// Returns the next 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next value in `[0, bound)`.
+    ///
+    /// Uses rejection sampling to avoid modulo bias; `bound` must be
+    /// non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a random byte.
+    fn next_byte(&mut self) -> u8 {
+        (self.next_u64() & 0xff) as u8
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero.
+    fn next_bool_ratio(&mut self, numerator: u64, denominator: u64) -> bool {
+        assert!(denominator > 0, "denominator must be non-zero");
+        self.next_below(denominator) < numerator
+    }
+}
+
+/// The SplitMix64 generator (Steele, Lea & Flood 2014).
+///
+/// Mainly used for seeding other generators and for one-off random words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.  Any seed, including zero, is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Prng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The xoshiro256** generator (Blackman & Vigna 2018).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator by expanding `seed` through SplitMix64, following
+    /// the authors' recommendation.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in s.iter_mut() {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is the single invalid state; the SplitMix64
+        // expansion of any seed cannot produce it, but guard regardless.
+        if s.iter().all(|&x| x == 0) {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256StarStar { s }
+    }
+
+    /// Jump function equivalent to 2^128 calls of `next_u64`, useful for
+    /// splitting one seed into independent per-process streams.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] =
+            [0x180E_C6D3_3CFD_0ABA, 0xD5A6_1266_F0C9_392C, 0xA958_2618_E03F_C9AA, 0x39AB_DC45_29B1_661C];
+        let mut s0 = 0u64;
+        let mut s1 = 0u64;
+        let mut s2 = 0u64;
+        let mut s3 = 0u64;
+        for jump_word in JUMP {
+            for bit in 0..64 {
+                if (jump_word & (1u64 << bit)) != 0 {
+                    s0 ^= self.s[0];
+                    s1 ^= self.s[1];
+                    s2 ^= self.s[2];
+                    s3 ^= self.s[3];
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = [s0, s1, s2, s3];
+    }
+
+    /// Creates an independent stream for a child process: the child keeps the
+    /// current state while the parent jumps ahead by 2^128 steps, so repeated
+    /// splits from the same parent all yield pairwise-distinct streams.
+    pub fn split(&mut self) -> Self {
+        let child = self.clone();
+        self.jump();
+        child
+    }
+}
+
+impl Prng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Prng for Box<dyn Prng> {
+    fn next_u64(&mut self) -> u64 {
+        self.as_mut().next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference output for seed 0 from the public-domain reference code.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256StarStar::new(1234);
+        let mut b = Xoshiro256StarStar::new(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256StarStar::new(1);
+        let mut b = Xoshiro256StarStar::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams for different seeds should be unrelated");
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Xoshiro256StarStar::new(77);
+        let mut child = parent.split();
+        let overlap = (0..128).filter(|_| parent.next_u64() == child.next_u64()).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(99);
+        for bound in [1u64, 2, 3, 7, 255, 256, 1000, 1 << 33] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn next_below_zero_panics() {
+        let mut rng = SplitMix64::new(1);
+        let _ = rng.next_below(0);
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte_eventually() {
+        let mut rng = SplitMix64::new(5);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        // With 37 random bytes the chance of all being zero is negligible.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn boxed_prng_is_usable() {
+        let mut rng: Box<dyn Prng> = Box::new(SplitMix64::new(3));
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn byte_distribution_roughly_uniform() {
+        let mut rng = Xoshiro256StarStar::new(2024);
+        let mut counts = [0u32; 256];
+        let n = 256 * 200;
+        for _ in 0..n {
+            counts[rng.next_byte() as usize] += 1;
+        }
+        let expected = (n / 256) as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 255 degrees of freedom; 99.9th percentile is ~330.
+        assert!(chi2 < 360.0, "chi-square too large: {chi2}");
+    }
+
+    proptest! {
+        #[test]
+        fn next_below_always_in_range(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
+            let mut rng = SplitMix64::new(seed);
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+
+        #[test]
+        fn ratio_bool_is_total(seed in any::<u64>(), num in 0u64..100, den in 1u64..100) {
+            let mut rng = SplitMix64::new(seed);
+            let _ = rng.next_bool_ratio(num.min(den), den);
+        }
+    }
+}

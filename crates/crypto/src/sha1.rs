@@ -1,0 +1,227 @@
+//! SHA-1 implementation.
+//!
+//! Section IV-C of the paper names two candidate instantiations of the
+//! one-way function used by P-SSP-OWF: a hash function "e.g. SHA-1" and a
+//! block cipher "e.g. AES".  The evaluated prototype uses AES-NI; we provide
+//! SHA-1 as well so that the ablation experiments can compare both
+//! instantiations of [`crate::oneway::OneWayFunction`].
+//!
+//! SHA-1 is cryptographically broken for collision resistance, but the canary
+//! construction only requires preimage resistance over a 64-bit truncation,
+//! for which SHA-1 remains a reasonable *model* of the paper's design point.
+
+/// Output size of SHA-1 in bytes.
+pub const DIGEST_BYTES: usize = 20;
+
+/// Streaming SHA-1 hasher.
+///
+/// ```
+/// use polycanary_crypto::sha1::Sha1;
+///
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(digest[0], 0xa9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a new hasher with the standard initialisation vector.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hash computation.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.process_block(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Completes the computation and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_BYTES] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update_padding();
+        // Append the 64-bit big-endian length.
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.process_block(&block);
+        let mut out = [0u8; DIGEST_BYTES];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Convenience helper hashing `data` in one call.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_BYTES] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Hashes `data` and truncates the digest to a 64-bit word, the form used
+    /// when instantiating the P-SSP-OWF canary with a hash function.
+    pub fn digest_word(data: &[u8]) -> u64 {
+        let d = Self::digest(data);
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&d[..8]);
+        u64::from_be_bytes(w)
+    }
+
+    fn update_padding(&mut self) {
+        // Pad with 0x80 then zeros so that 8 bytes remain for the length.
+        self.buffer[self.buffer_len] = 0x80;
+        for b in self.buffer.iter_mut().skip(self.buffer_len + 1) {
+            *b = 0;
+        }
+        if self.buffer_len + 1 > 56 {
+            let block = self.buffer;
+            self.process_block(&block);
+            self.buffer = [0u8; 64];
+        }
+        self.buffer_len = 0;
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc3174_empty_string() {
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn rfc3174_abc() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn rfc3174_two_block_message() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a_streaming() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Sha1::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), Sha1::digest(data));
+    }
+
+    #[test]
+    fn digest_word_is_prefix_of_digest() {
+        let d = Sha1::digest(b"canary");
+        let w = Sha1::digest_word(b"canary");
+        assert_eq!(w.to_be_bytes(), d[..8]);
+    }
+
+    #[test]
+    fn exact_block_boundary_padding() {
+        // 55, 56 and 64 byte messages exercise all padding branches.
+        for len in [55usize, 56, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha1::new();
+            h.update(&data);
+            let once = h.finalize();
+            let mut h2 = Sha1::new();
+            for b in &data {
+                h2.update(std::slice::from_ref(b));
+            }
+            assert_eq!(once, h2.finalize(), "length {len}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Model of the x86 Time Stamp Counter (`rdtsc`).
+//!
+//! P-SSP-OWF (Code 8 of the paper) reads the TSC in every protected function
+//! prologue and feeds it, together with the return address, into the AES-based
+//! one-way function.  The nonce guarantees that the same stack frame receives
+//! a different canary on every execution, which is what defeats the
+//! byte-by-byte attack (§IV-C).
+//!
+//! [`TimeStampCounter`] provides a monotonically increasing counter driven by
+//! the simulated cycle clock plus a per-read increment, so two reads can never
+//! return the same value even when no simulated cycles elapsed in between.
+
+use crate::cost::RDTSC_CYCLES;
+use crate::error::CryptoError;
+
+/// Simulated Time Stamp Counter.
+///
+/// ```
+/// use polycanary_crypto::tsc::TimeStampCounter;
+///
+/// let mut tsc = TimeStampCounter::new(1_000);
+/// let (a, _) = tsc.rdtsc(0).unwrap();
+/// let (b, _) = tsc.rdtsc(0).unwrap();
+/// assert!(b > a, "the TSC never repeats a value");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeStampCounter {
+    base: u64,
+    reads: u64,
+}
+
+impl TimeStampCounter {
+    /// Creates a counter starting at `base` (e.g. a boot-time offset).
+    pub fn new(base: u64) -> Self {
+        TimeStampCounter { base, reads: 0 }
+    }
+
+    /// Executes one `rdtsc` given the current simulated cycle count of the
+    /// executing CPU.  Returns the counter value and the instruction's cycle
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NonceExhausted`] if the counter would wrap
+    /// around, which would repeat a nonce.  In practice this cannot happen in
+    /// any experiment (it requires 2^64 reads) but the failure mode is modelled
+    /// so downstream code handles it rather than silently reusing nonces.
+    pub fn rdtsc(&mut self, current_cycles: u64) -> Result<(u64, u64), CryptoError> {
+        self.reads = self.reads.checked_add(1).ok_or(CryptoError::NonceExhausted)?;
+        let value = self
+            .base
+            .checked_add(current_cycles)
+            .and_then(|v| v.checked_add(self.reads))
+            .ok_or(CryptoError::NonceExhausted)?;
+        Ok((value, RDTSC_CYCLES))
+    }
+
+    /// The number of reads performed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+impl Default for TimeStampCounter {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_strictly_increase_even_without_cycle_progress() {
+        let mut tsc = TimeStampCounter::new(0);
+        let a = tsc.rdtsc(100).unwrap().0;
+        let b = tsc.rdtsc(100).unwrap().0;
+        let c = tsc.rdtsc(100).unwrap().0;
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn values_track_cycle_clock() {
+        let mut tsc = TimeStampCounter::new(1_000);
+        let a = tsc.rdtsc(0).unwrap().0;
+        let b = tsc.rdtsc(500).unwrap().0;
+        assert!(b >= a + 500);
+    }
+
+    #[test]
+    fn cost_is_documented_constant() {
+        let mut tsc = TimeStampCounter::default();
+        assert_eq!(tsc.rdtsc(0).unwrap().1, RDTSC_CYCLES);
+    }
+
+    #[test]
+    fn wraparound_is_reported_not_silent() {
+        let mut tsc = TimeStampCounter::new(u64::MAX - 1);
+        assert_eq!(tsc.rdtsc(10).unwrap_err(), CryptoError::NonceExhausted);
+    }
+
+    #[test]
+    fn read_counter_increments() {
+        let mut tsc = TimeStampCounter::new(0);
+        for _ in 0..4 {
+            let _ = tsc.rdtsc(0);
+        }
+        assert_eq!(tsc.reads(), 4);
+    }
+}

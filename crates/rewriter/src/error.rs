@@ -1,0 +1,72 @@
+//! Rewriter error type.
+
+use std::fmt;
+
+/// Errors reported by the static binary instrumentation tool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RewriteError {
+    /// The instrumentation would change a function's encoded size, shifting
+    /// the address layout of the binary (§V-C, challenge 2).
+    LayoutChanged {
+        /// The function whose size would change.
+        function: String,
+        /// Encoded size before the rewrite, in bytes.
+        before: u64,
+        /// Encoded size after the rewrite, in bytes.
+        after: u64,
+    },
+    /// A function contains an SSP prologue but no matching epilogue (or the
+    /// other way round), so the rewriter cannot upgrade it consistently.
+    InconsistentInstrumentation {
+        /// The function with mismatched prologue/epilogue counts.
+        function: String,
+        /// Number of SSP prologues found.
+        prologues: usize,
+        /// Number of SSP epilogues found.
+        epilogues: usize,
+    },
+    /// The target program was not compiled with SSP at all; the rewriter
+    /// requires `-fstack-protector` output as its input (§V-C).
+    NotSspProtected,
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::LayoutChanged { function, before, after } => write!(
+                f,
+                "rewriting `{function}` would change its size from {before} to {after} bytes"
+            ),
+            RewriteError::InconsistentInstrumentation { function, prologues, epilogues } => {
+                write!(
+                    f,
+                    "function `{function}` has {prologues} SSP prologue(s) but {epilogues} epilogue(s)"
+                )
+            }
+            RewriteError::NotSspProtected => {
+                write!(f, "target binary contains no SSP instrumentation to upgrade")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = RewriteError::LayoutChanged { function: "f".into(), before: 10, after: 12 };
+        assert!(e.to_string().contains("f") && e.to_string().contains("12"));
+        assert!(RewriteError::NotSspProtected.to_string().contains("SSP"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<RewriteError>();
+    }
+}

@@ -1,0 +1,162 @@
+//! Pattern scanning: locating SSP prologues and epilogues in compiled code.
+//!
+//! The paper's rewriter assumes its input was compiled with
+//! `-fstack-protector` and therefore already contains the canary-handling
+//! instruction sequences of Codes 1–2; instrumentation amounts to finding
+//! and replacing exactly those sequences (§V-C).  This module implements the
+//! finding part.
+
+use polycanary_vm::inst::Inst;
+use polycanary_vm::tls::TLS_CANARY_OFFSET;
+
+/// Location of an SSP prologue canary-store inside a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrologueSite {
+    /// Index of the `mov %fs:0x28,%rax` instruction.
+    pub tls_load_index: usize,
+    /// Index of the `mov %rax,-0x8(%rbp)` instruction.
+    pub store_index: usize,
+}
+
+/// Location of an SSP epilogue check inside a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpilogueSite {
+    /// Index of the first instruction of the check (the frame load).
+    pub start_index: usize,
+    /// Number of instructions forming the check (frame load, TLS XOR,
+    /// conditional skip, `__stack_chk_fail` call).
+    pub len: usize,
+}
+
+/// All SSP instrumentation sites found in one function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SspSites {
+    /// Prologue canary stores.
+    pub prologues: Vec<PrologueSite>,
+    /// Epilogue canary checks.
+    pub epilogues: Vec<EpilogueSite>,
+}
+
+impl SspSites {
+    /// Whether the function carries any SSP instrumentation at all.
+    pub fn is_instrumented(&self) -> bool {
+        !self.prologues.is_empty() || !self.epilogues.is_empty()
+    }
+}
+
+/// Scans a function body for SSP prologue and epilogue patterns.
+pub fn scan_function(insts: &[Inst]) -> SspSites {
+    let mut sites = SspSites::default();
+
+    for (i, window) in insts.windows(2).enumerate() {
+        if let (Inst::MovTlsToReg { offset, .. }, Inst::MovRegToFrame { offset: -8, .. }) =
+            (&window[0], &window[1])
+        {
+            if *offset == TLS_CANARY_OFFSET {
+                sites.prologues.push(PrologueSite { tls_load_index: i, store_index: i + 1 });
+            }
+        }
+    }
+
+    for (i, window) in insts.windows(4).enumerate() {
+        let is_epilogue = matches!(
+            (&window[0], &window[1], &window[2], &window[3]),
+            (
+                Inst::MovFrameToReg { offset: -8, .. },
+                Inst::XorTlsReg { offset: TLS_CANARY_OFFSET, .. },
+                Inst::JeSkip(1),
+                Inst::CallStackChkFail,
+            )
+        );
+        if is_epilogue {
+            sites.epilogues.push(EpilogueSite { start_index: i, len: 4 });
+        }
+    }
+
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycanary_compiler::codegen::Compiler;
+    use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder};
+    use polycanary_core::scheme::SchemeKind;
+    use polycanary_vm::reg::Reg;
+
+    fn ssp_function_insts() -> Vec<Inst> {
+        let module = ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("victim")
+                    .buffer("buf", 32)
+                    .vulnerable_copy("buf")
+                    .returns(0)
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let compiled = Compiler::new(SchemeKind::Ssp).compile(&module).unwrap();
+        let id = compiled.by_name["victim"];
+        compiled.program.function(id).unwrap().insts().to_vec()
+    }
+
+    #[test]
+    fn finds_prologue_and_epilogue_in_ssp_output() {
+        let sites = scan_function(&ssp_function_insts());
+        assert_eq!(sites.prologues.len(), 1);
+        assert_eq!(sites.epilogues.len(), 1);
+        assert!(sites.is_instrumented());
+    }
+
+    #[test]
+    fn prologue_site_points_at_the_tls_load() {
+        let insts = ssp_function_insts();
+        let sites = scan_function(&insts);
+        let site = sites.prologues[0];
+        assert!(matches!(
+            insts[site.tls_load_index],
+            Inst::MovTlsToReg { offset: 0x28, .. }
+        ));
+        assert!(matches!(insts[site.store_index], Inst::MovRegToFrame { offset: -8, .. }));
+    }
+
+    #[test]
+    fn unprotected_code_has_no_sites() {
+        let insts = vec![
+            Inst::PushReg(Reg::Rbp),
+            Inst::MovRegReg { dst: Reg::Rbp, src: Reg::Rsp },
+            Inst::Compute(100),
+            Inst::Leave,
+            Inst::Ret,
+        ];
+        let sites = scan_function(&insts);
+        assert!(!sites.is_instrumented());
+    }
+
+    #[test]
+    fn pssp_output_is_not_mistaken_for_ssp() {
+        // P-SSP prologues read %fs:0x2a8, not %fs:0x28, so the scanner must
+        // not match them (the rewriter only upgrades SSP binaries).
+        let module = ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("victim").buffer("buf", 32).vulnerable_copy("buf").build(),
+            )
+            .build()
+            .unwrap();
+        let compiled = Compiler::new(SchemeKind::Pssp).compile(&module).unwrap();
+        let id = compiled.by_name["victim"];
+        let sites = scan_function(compiled.program.function(id).unwrap().insts());
+        assert!(sites.prologues.is_empty());
+    }
+
+    #[test]
+    fn multiple_epilogues_are_all_found() {
+        // A function with two return paths has two epilogue checks.
+        let mut insts = ssp_function_insts();
+        let extra = ssp_function_insts();
+        insts.extend(extra);
+        let sites = scan_function(&insts);
+        assert_eq!(sites.prologues.len(), 2);
+        assert_eq!(sites.epilogues.len(), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Errors and faults produced by the simulated machine.
+
+use std::fmt;
+
+/// Recoverable errors returned by VM building blocks (memory, TLS, program
+/// construction).  These indicate misuse of the simulator API, not behaviour
+/// of the simulated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// A memory access referenced an address outside every mapped segment.
+    UnmappedAddress {
+        /// The offending virtual address.
+        addr: u64,
+    },
+    /// A memory access crossed the end of a mapped segment.
+    PartialAccess {
+        /// The starting virtual address of the access.
+        addr: u64,
+        /// The length of the access in bytes.
+        len: usize,
+    },
+    /// A TLS access was outside the TLS block.
+    TlsOutOfRange {
+        /// The offending offset from the TLS base.
+        offset: u64,
+    },
+    /// A function id did not refer to a function of the program.
+    UnknownFunction {
+        /// The name or index that failed to resolve.
+        name: String,
+    },
+    /// The program has no entry point set.
+    MissingEntryPoint,
+    /// Two functions were given the same name.
+    DuplicateFunction {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A rewrite changed the encoded size of a function, which would shift
+    /// the address layout of the binary (§V-C challenge 2).
+    LayoutChanged {
+        /// The function whose size changed.
+        function: String,
+        /// Encoded size before the rewrite.
+        before: u64,
+        /// Encoded size after the rewrite.
+        after: u64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UnmappedAddress { addr } => write!(f, "unmapped address {addr:#x}"),
+            VmError::PartialAccess { addr, len } => {
+                write!(f, "access of {len} bytes at {addr:#x} crosses a segment boundary")
+            }
+            VmError::TlsOutOfRange { offset } => write!(f, "TLS offset {offset:#x} out of range"),
+            VmError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
+            VmError::MissingEntryPoint => write!(f, "program has no entry point"),
+            VmError::DuplicateFunction { name } => write!(f, "duplicate function `{name}`"),
+            VmError::LayoutChanged { function, before, after } => write!(
+                f,
+                "rewrite changed encoded size of `{function}` from {before} to {after} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Reasons a simulated process stops abnormally.
+///
+/// A [`Fault`] is behaviour *of the simulated program* (e.g. the stack
+/// protector fired), as opposed to [`VmError`] which indicates misuse of the
+/// simulator itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// `__stack_chk_fail` (or the patched canary checker) detected a
+    /// mismatching canary and aborted the process.
+    CanaryViolation {
+        /// Name of the function whose epilogue detected the mismatch.
+        function: String,
+    },
+    /// A local-variable canary check (P-SSP-LV) detected corruption of a
+    /// critical variable's guard before function return.
+    LocalVariableViolation {
+        /// Name of the function whose check detected the mismatch.
+        function: String,
+        /// Index of the critical variable whose canary was corrupted.
+        variable_index: usize,
+    },
+    /// A load or store touched an unmapped address.
+    MemoryFault {
+        /// The offending address.
+        addr: u64,
+    },
+    /// A `ret` popped an address that does not map to any instruction.
+    InvalidReturn {
+        /// The popped return address.
+        addr: u64,
+    },
+    /// A `ret` transferred control to the attacker's chosen target address:
+    /// the attack succeeded without being detected.
+    ControlFlowHijacked {
+        /// The address control flow was diverted to.
+        addr: u64,
+    },
+    /// The stack pointer moved below the stack segment.
+    StackExhausted,
+    /// The instruction budget of the execution was exceeded.
+    InstructionLimit,
+    /// The simulated `rdrand` failed permanently (only possible when failure
+    /// injection is configured with no retry).
+    EntropyFailure,
+}
+
+impl Fault {
+    /// Returns `true` if this fault corresponds to the stack protector
+    /// detecting an attack (either the return-address canary or a
+    /// local-variable canary).
+    pub fn is_detection(&self) -> bool {
+        matches!(self, Fault::CanaryViolation { .. } | Fault::LocalVariableViolation { .. })
+    }
+
+    /// Returns `true` if this fault means the attacker achieved control-flow
+    /// hijacking without detection.
+    pub fn is_hijack(&self) -> bool {
+        matches!(self, Fault::ControlFlowHijacked { .. })
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::CanaryViolation { function } => {
+                write!(f, "stack smashing detected in `{function}`")
+            }
+            Fault::LocalVariableViolation { function, variable_index } => {
+                write!(f, "local variable canary {variable_index} corrupted in `{function}`")
+            }
+            Fault::MemoryFault { addr } => write!(f, "segmentation fault at {addr:#x}"),
+            Fault::InvalidReturn { addr } => write!(f, "return to invalid address {addr:#x}"),
+            Fault::ControlFlowHijacked { addr } => {
+                write!(f, "control flow hijacked to {addr:#x}")
+            }
+            Fault::StackExhausted => write!(f, "stack exhausted"),
+            Fault::InstructionLimit => write!(f, "instruction limit exceeded"),
+            Fault::EntropyFailure => write!(f, "hardware entropy source failed"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_classification() {
+        assert!(Fault::CanaryViolation { function: "f".into() }.is_detection());
+        assert!(Fault::LocalVariableViolation { function: "f".into(), variable_index: 0 }
+            .is_detection());
+        assert!(!Fault::CanaryViolation { function: "f".into() }.is_hijack());
+        assert!(Fault::ControlFlowHijacked { addr: 0x41414141 }.is_hijack());
+        assert!(!Fault::ControlFlowHijacked { addr: 0x41414141 }.is_detection());
+        assert!(!Fault::StackExhausted.is_detection());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let f = Fault::CanaryViolation { function: "handle_request".into() };
+        assert!(f.to_string().contains("handle_request"));
+        let e = VmError::UnmappedAddress { addr: 0xdead };
+        assert!(e.to_string().contains("0xdead"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<VmError>();
+        assert_err::<Fault>();
+    }
+}

@@ -1,0 +1,345 @@
+//! Process memory: a stack segment and a globals segment.
+//!
+//! Stack buffer overflow is a *memory layout* phenomenon, so the simulator
+//! models the stack as a real byte array at realistic virtual addresses with
+//! the downward growth direction of x86-64.  Overflowing a local buffer
+//! therefore overwrites — in this order — higher-addressed locals, the stack
+//! canary slot(s), the saved frame pointer and finally the saved return
+//! address, exactly as on the paper's platform (Figure 1).
+//!
+//! The globals segment hosts the per-thread global buffer of the §VII-C
+//! layout-preserving variant (Figure 6) and any global state the synthetic
+//! workloads need.
+
+use crate::error::VmError;
+
+/// Highest stack address + 1 (the stack grows down from here).
+pub const STACK_TOP: u64 = 0x7FFF_FFFF_F000;
+/// Default stack segment size in bytes.
+pub const DEFAULT_STACK_SIZE: u64 = 64 * 1024;
+/// Base address of the globals segment.
+pub const GLOBAL_BASE: u64 = 0x0060_0000;
+/// Default globals segment size in bytes.
+pub const DEFAULT_GLOBAL_SIZE: u64 = 64 * 1024;
+
+/// The memory of one simulated process (stack + globals).
+///
+/// Cloning a [`Memory`] models `fork()`: the child receives a copy-on-write
+/// image which, for the purposes of canary semantics, behaves as an
+/// independent byte-for-byte copy — crucially *including* the stack frames
+/// that the parent pushed before forking (§II-B, "Caveat").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    stack: Vec<u8>,
+    stack_size: u64,
+    globals: Vec<u8>,
+    global_size: u64,
+}
+
+impl Memory {
+    /// Creates a memory image with the default segment sizes.
+    pub fn new() -> Self {
+        Self::with_stack_size(DEFAULT_STACK_SIZE)
+    }
+
+    /// Creates a memory image with a custom stack size (rounded up to 16).
+    pub fn with_stack_size(stack_size: u64) -> Self {
+        let stack_size = stack_size.max(4096).next_multiple_of(16);
+        Memory {
+            stack: vec![0u8; stack_size as usize],
+            stack_size,
+            globals: vec![0u8; DEFAULT_GLOBAL_SIZE as usize],
+            global_size: DEFAULT_GLOBAL_SIZE,
+        }
+    }
+
+    /// The highest valid stack address + 1 (initial `rsp`).
+    pub fn stack_top(&self) -> u64 {
+        STACK_TOP
+    }
+
+    /// The lowest mapped stack address.
+    pub fn stack_limit(&self) -> u64 {
+        STACK_TOP - self.stack_size
+    }
+
+    /// The base address of the globals segment.
+    pub fn global_base(&self) -> u64 {
+        GLOBAL_BASE
+    }
+
+    /// The size in bytes of the globals segment.
+    pub fn global_size(&self) -> u64 {
+        self.global_size
+    }
+
+    /// Returns `true` if `addr` falls inside the stack segment.
+    pub fn is_stack_addr(&self, addr: u64) -> bool {
+        addr >= self.stack_limit() && addr < STACK_TOP
+    }
+
+    /// Returns `true` if `addr` falls inside the globals segment.
+    pub fn is_global_addr(&self, addr: u64) -> bool {
+        addr >= GLOBAL_BASE && addr < GLOBAL_BASE + self.global_size
+    }
+
+    fn resolve(&self, addr: u64, len: usize) -> Result<(Segment, usize), VmError> {
+        let end = addr.checked_add(len as u64).ok_or(VmError::UnmappedAddress { addr })?;
+        if self.is_stack_addr(addr) {
+            if end <= STACK_TOP {
+                Ok((Segment::Stack, (addr - self.stack_limit()) as usize))
+            } else {
+                Err(VmError::PartialAccess { addr, len })
+            }
+        } else if self.is_global_addr(addr) {
+            if end <= GLOBAL_BASE + self.global_size {
+                Ok((Segment::Globals, (addr - GLOBAL_BASE) as usize))
+            } else {
+                Err(VmError::PartialAccess { addr, len })
+            }
+        } else {
+            Err(VmError::UnmappedAddress { addr })
+        }
+    }
+
+    fn segment(&self, seg: Segment) -> &[u8] {
+        match seg {
+            Segment::Stack => &self.stack,
+            Segment::Globals => &self.globals,
+        }
+    }
+
+    fn segment_mut(&mut self, seg: Segment) -> &mut Vec<u8> {
+        match seg {
+            Segment::Stack => &mut self.stack,
+            Segment::Globals => &mut self.globals,
+        }
+    }
+
+    /// Reads a 64-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnmappedAddress`] or [`VmError::PartialAccess`] if
+    /// the access is not fully inside a mapped segment.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, VmError> {
+        let (seg, off) = self.resolve(addr, 8)?;
+        let bytes = &self.segment(seg)[off..off + 8];
+        Ok(u64::from_le_bytes(bytes.try_into().expect("slice length is 8")))
+    }
+
+    /// Writes a 64-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnmappedAddress`] or [`VmError::PartialAccess`] if
+    /// the access is not fully inside a mapped segment.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), VmError> {
+        let (seg, off) = self.resolve(addr, 8)?;
+        self.segment_mut(seg)[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads a 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Memory::read_u64`].
+    pub fn read_u32(&self, addr: u64) -> Result<u32, VmError> {
+        let (seg, off) = self.resolve(addr, 4)?;
+        let bytes = &self.segment(seg)[off..off + 4];
+        Ok(u32::from_le_bytes(bytes.try_into().expect("slice length is 4")))
+    }
+
+    /// Writes a 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Memory::write_u64`].
+    pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), VmError> {
+        let (seg, off) = self.resolve(addr, 4)?;
+        self.segment_mut(seg)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnmappedAddress`] if `addr` is not mapped.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, VmError> {
+        let (seg, off) = self.resolve(addr, 1)?;
+        Ok(self.segment(seg)[off])
+    }
+
+    /// Writes a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnmappedAddress`] if `addr` is not mapped.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), VmError> {
+        let (seg, off) = self.resolve(addr, 1)?;
+        self.segment_mut(seg)[off] = value;
+        Ok(())
+    }
+
+    /// Copies `data` into memory starting at `addr`.
+    ///
+    /// This is the primitive behind the vulnerable `strcpy`/`read` model: the
+    /// copy proceeds towards *higher* addresses and is bounded only by the
+    /// mapped segment, so it can run over canaries and the saved return
+    /// address.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any byte of the destination range is unmapped; in
+    /// that case no bytes are written (the fault is detected up front, which
+    /// models the MMU fault terminating the process before the copy is
+    /// observable).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), VmError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let (seg, off) = self.resolve(addr, data.len())?;
+        self.segment_mut(seg)[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any byte of the source range is unmapped.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, VmError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let (seg, off) = self.resolve(addr, len)?;
+        Ok(self.segment(seg)[off..off + len].to_vec())
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Stack,
+    Globals,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stack_word_roundtrip() {
+        let mut mem = Memory::new();
+        let addr = STACK_TOP - 0x100;
+        mem.write_u64(addr, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(mem.read_u64(addr).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn global_word_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_u64(GLOBAL_BASE + 64, 99).unwrap();
+        assert_eq!(mem.read_u64(GLOBAL_BASE + 64).unwrap(), 99);
+    }
+
+    #[test]
+    fn unmapped_access_is_error() {
+        let mem = Memory::new();
+        assert!(matches!(mem.read_u64(0x1000), Err(VmError::UnmappedAddress { .. })));
+        assert!(matches!(mem.read_u64(0), Err(VmError::UnmappedAddress { .. })));
+    }
+
+    #[test]
+    fn partial_access_at_stack_top_is_error() {
+        let mut mem = Memory::new();
+        assert!(mem.write_u64(STACK_TOP - 4, 1).is_err());
+        assert!(mem.write_bytes(STACK_TOP - 2, &[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn little_endian_byte_order() {
+        let mut mem = Memory::new();
+        let addr = STACK_TOP - 0x40;
+        mem.write_u64(addr, 0x0807_0605_0403_0201).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(mem.read_u8(addr + i).unwrap(), (i + 1) as u8);
+        }
+    }
+
+    #[test]
+    fn overflow_copy_clobbers_higher_addresses() {
+        // Model of the attack: a 16-byte buffer at `buf`, the canary 8 bytes
+        // above it; writing 24 bytes from `buf` overwrites the canary.
+        let mut mem = Memory::new();
+        let buf = STACK_TOP - 0x200;
+        let canary_slot = buf + 16;
+        mem.write_u64(canary_slot, 0xAAAA_BBBB_CCCC_DDDD).unwrap();
+        mem.write_bytes(buf, &[0x41u8; 24]).unwrap();
+        assert_eq!(mem.read_u64(canary_slot).unwrap(), 0x4141_4141_4141_4141);
+    }
+
+    #[test]
+    fn clone_is_independent_after_fork() {
+        let mut parent = Memory::new();
+        let addr = STACK_TOP - 0x80;
+        parent.write_u64(addr, 1).unwrap();
+        let mut child = parent.clone();
+        child.write_u64(addr, 2).unwrap();
+        assert_eq!(parent.read_u64(addr).unwrap(), 1);
+        assert_eq!(child.read_u64(addr).unwrap(), 2);
+    }
+
+    #[test]
+    fn custom_stack_size_respected() {
+        let mem = Memory::with_stack_size(8192);
+        assert_eq!(mem.stack_top() - mem.stack_limit(), 8192);
+        assert!(mem.is_stack_addr(STACK_TOP - 8192));
+        assert!(!mem.is_stack_addr(STACK_TOP - 8192 - 1));
+    }
+
+    #[test]
+    fn read_bytes_roundtrip() {
+        let mut mem = Memory::new();
+        let addr = GLOBAL_BASE + 100;
+        mem.write_bytes(addr, b"polymorphic canary").unwrap();
+        assert_eq!(mem.read_bytes(addr, 18).unwrap(), b"polymorphic canary");
+    }
+
+    #[test]
+    fn empty_writes_and_reads_are_noops() {
+        let mut mem = Memory::new();
+        assert!(mem.write_bytes(0xdead, &[]).is_ok());
+        assert_eq!(mem.read_bytes(0xdead, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn u64_roundtrip_anywhere_in_stack(offset in 8u64..DEFAULT_STACK_SIZE - 8, value in any::<u64>()) {
+            let mut mem = Memory::new();
+            let addr = mem.stack_limit() + offset;
+            mem.write_u64(addr, value).unwrap();
+            prop_assert_eq!(mem.read_u64(addr).unwrap(), value);
+        }
+
+        #[test]
+        fn byte_writes_equal_word_write(value in any::<u64>()) {
+            let mut a = Memory::new();
+            let mut b = Memory::new();
+            let addr = STACK_TOP - 0x100;
+            a.write_u64(addr, value).unwrap();
+            for (i, byte) in value.to_le_bytes().iter().enumerate() {
+                b.write_u8(addr + i as u64, *byte).unwrap();
+            }
+            prop_assert_eq!(a.read_u64(addr).unwrap(), b.read_u64(addr).unwrap());
+        }
+    }
+}

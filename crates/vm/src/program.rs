@@ -1,0 +1,342 @@
+//! Programs: collections of functions with assigned virtual addresses.
+//!
+//! A [`Program`] is the unit the compiler produces and the binary rewriter
+//! consumes.  Functions are laid out contiguously in a simulated `.text`
+//! section starting at [`CODE_BASE`]; every instruction receives a virtual
+//! address derived from the encoded sizes of the instructions before it.
+//! Return addresses pushed by `call` are therefore *real* addresses that an
+//! overflow can overwrite, and the interpreter translates them back to
+//! instruction positions when `ret` executes.
+
+use std::collections::HashMap;
+
+use crate::error::VmError;
+use crate::inst::{FuncId, Inst};
+
+/// Base virtual address of the `.text` section.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// Alignment of function entry points.
+pub const FUNCTION_ALIGN: u64 = 16;
+
+/// One function of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    name: String,
+    insts: Vec<Inst>,
+    /// Entry address, assigned by [`Program::finalize`].
+    entry_addr: u64,
+    /// Address of each instruction, assigned by [`Program::finalize`].
+    inst_addrs: Vec<u64>,
+}
+
+impl Function {
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The function's instructions.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The function's entry address (valid after finalization).
+    pub fn entry_addr(&self) -> u64 {
+        self.entry_addr
+    }
+
+    /// The address of instruction `index` (valid after finalization).
+    pub fn inst_addr(&self, index: usize) -> Option<u64> {
+        self.inst_addrs.get(index).copied()
+    }
+
+    /// Total encoded size of the function in bytes.
+    pub fn encoded_size(&self) -> u64 {
+        self.insts.iter().map(Inst::encoded_size).sum()
+    }
+}
+
+/// A complete program: functions, entry point and the address map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    functions: Vec<Function>,
+    by_name: HashMap<String, FuncId>,
+    entry: Option<FuncId>,
+    /// Map from instruction address to (function, instruction index).
+    addr_map: HashMap<u64, (FuncId, usize)>,
+    /// Extra sections appended by the binary rewriter (name → size in bytes).
+    extra_sections: Vec<(String, u64)>,
+    finalized: bool,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program {
+            functions: Vec::new(),
+            by_name: HashMap::new(),
+            entry: None,
+            addr_map: HashMap::new(),
+            extra_sections: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// Adds a function and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::DuplicateFunction`] if a function with the same
+    /// name already exists.
+    pub fn add_function(
+        &mut self,
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+    ) -> Result<FuncId, VmError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(VmError::DuplicateFunction { name });
+        }
+        let id = FuncId(self.functions.len());
+        self.by_name.insert(name.clone(), id);
+        self.functions.push(Function { name, insts, entry_addr: 0, inst_addrs: Vec::new() });
+        self.finalized = false;
+        Ok(id)
+    }
+
+    /// Replaces the body of an existing function (used by the rewriter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnknownFunction`] if `id` is out of range.
+    pub fn replace_function_body(&mut self, id: FuncId, insts: Vec<Inst>) -> Result<(), VmError> {
+        let func = self
+            .functions
+            .get_mut(id.0)
+            .ok_or_else(|| VmError::UnknownFunction { name: format!("{id}") })?;
+        func.insts = insts;
+        self.finalized = false;
+        Ok(())
+    }
+
+    /// Sets the program entry point.
+    pub fn set_entry(&mut self, entry: FuncId) {
+        self.entry = Some(entry);
+    }
+
+    /// The program entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::MissingEntryPoint`] if no entry was set.
+    pub fn entry(&self) -> Result<FuncId, VmError> {
+        self.entry.ok_or(VmError::MissingEntryPoint)
+    }
+
+    /// Number of functions in the program.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the program has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Iterates over `(id, function)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions.iter().enumerate().map(|(i, f)| (FuncId(i), f))
+    }
+
+    /// Looks up a function by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnknownFunction`] if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> Result<&Function, VmError> {
+        self.functions.get(id.0).ok_or_else(|| VmError::UnknownFunction { name: format!("{id}") })
+    }
+
+    /// Looks up a function id by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Records an extra section added by the binary rewriter (e.g. the
+    /// section holding the customised `fork()` for statically linked code).
+    pub fn add_extra_section(&mut self, name: impl Into<String>, size: u64) {
+        self.extra_sections.push((name.into(), size));
+    }
+
+    /// Extra sections appended to the binary.
+    pub fn extra_sections(&self) -> &[(String, u64)] {
+        &self.extra_sections
+    }
+
+    /// Assigns addresses to every function and instruction.
+    ///
+    /// Calling `finalize` again after mutation recomputes the layout; the
+    /// rewriter uses the before/after sizes to verify layout preservation.
+    pub fn finalize(&mut self) {
+        self.addr_map.clear();
+        let mut cursor = CODE_BASE;
+        for (idx, func) in self.functions.iter_mut().enumerate() {
+            cursor = cursor.next_multiple_of(FUNCTION_ALIGN);
+            func.entry_addr = cursor;
+            func.inst_addrs.clear();
+            for (inst_idx, inst) in func.insts.iter().enumerate() {
+                func.inst_addrs.push(cursor);
+                self.addr_map.insert(cursor, (FuncId(idx), inst_idx));
+                cursor += inst.encoded_size();
+            }
+            // The address immediately after the last instruction maps to a
+            // "one past the end" marker so a call as the final instruction
+            // still has a valid return address (it behaves as a return).
+            self.addr_map.insert(cursor, (FuncId(idx), func.insts.len()));
+            cursor += 1;
+        }
+        self.finalized = true;
+    }
+
+    /// Whether [`Program::finalize`] has been called since the last mutation.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Translates a virtual address back to `(function, instruction index)`.
+    ///
+    /// Returns `None` for addresses that are not instruction boundaries —
+    /// this is how a corrupted return address is detected as either an
+    /// invalid return or a successful hijack.
+    pub fn lookup_addr(&self, addr: u64) -> Option<(FuncId, usize)> {
+        self.addr_map.get(&addr).copied()
+    }
+
+    /// Total encoded size of all original functions (the `.text` section).
+    pub fn text_size(&self) -> u64 {
+        self.functions.iter().map(Function::encoded_size).sum()
+    }
+
+    /// Total binary size: `.text` plus any extra sections.
+    pub fn binary_size(&self) -> u64 {
+        self.text_size() + self.extra_sections.iter().map(|(_, s)| s).sum::<u64>()
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn tiny_function() -> Vec<Inst> {
+        vec![
+            Inst::PushReg(Reg::Rbp),
+            Inst::MovRegReg { dst: Reg::Rbp, src: Reg::Rsp },
+            Inst::Compute(10),
+            Inst::Leave,
+            Inst::Ret,
+        ]
+    }
+
+    #[test]
+    fn add_and_lookup_functions() {
+        let mut prog = Program::new();
+        let main = prog.add_function("main", tiny_function()).unwrap();
+        let helper = prog.add_function("helper", tiny_function()).unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(prog.function_by_name("main"), Some(main));
+        assert_eq!(prog.function_by_name("helper"), Some(helper));
+        assert_eq!(prog.function_by_name("missing"), None);
+        assert_eq!(prog.function(main).unwrap().name(), "main");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut prog = Program::new();
+        prog.add_function("main", tiny_function()).unwrap();
+        let err = prog.add_function("main", tiny_function()).unwrap_err();
+        assert_eq!(err, VmError::DuplicateFunction { name: "main".into() });
+    }
+
+    #[test]
+    fn finalize_assigns_monotonic_addresses() {
+        let mut prog = Program::new();
+        let a = prog.add_function("a", tiny_function()).unwrap();
+        let b = prog.add_function("b", tiny_function()).unwrap();
+        prog.finalize();
+        let fa = prog.function(a).unwrap();
+        let fb = prog.function(b).unwrap();
+        assert_eq!(fa.entry_addr(), CODE_BASE);
+        assert!(fb.entry_addr() > fa.entry_addr());
+        assert_eq!(fb.entry_addr() % FUNCTION_ALIGN, 0);
+        // Instruction addresses strictly increase within a function.
+        let addrs: Vec<_> = (0..fa.insts().len()).map(|i| fa.inst_addr(i).unwrap()).collect();
+        assert!(addrs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn lookup_addr_roundtrips() {
+        let mut prog = Program::new();
+        let a = prog.add_function("a", tiny_function()).unwrap();
+        prog.finalize();
+        let fa = prog.function(a).unwrap();
+        for i in 0..fa.insts().len() {
+            let addr = fa.inst_addr(i).unwrap();
+            assert_eq!(prog.lookup_addr(addr), Some((a, i)));
+        }
+        // A misaligned address (mid-instruction) does not resolve.
+        assert_eq!(prog.lookup_addr(fa.entry_addr() + 100_000), None);
+    }
+
+    #[test]
+    fn entry_point_is_required() {
+        let mut prog = Program::new();
+        let a = prog.add_function("a", tiny_function()).unwrap();
+        assert_eq!(prog.entry().unwrap_err(), VmError::MissingEntryPoint);
+        prog.set_entry(a);
+        assert_eq!(prog.entry().unwrap(), a);
+    }
+
+    #[test]
+    fn text_size_is_sum_of_functions() {
+        let mut prog = Program::new();
+        prog.add_function("a", tiny_function()).unwrap();
+        prog.add_function("b", tiny_function()).unwrap();
+        let one: u64 = tiny_function().iter().map(Inst::encoded_size).sum();
+        assert_eq!(prog.text_size(), 2 * one);
+    }
+
+    #[test]
+    fn extra_sections_grow_binary_size() {
+        let mut prog = Program::new();
+        prog.add_function("a", tiny_function()).unwrap();
+        let before = prog.binary_size();
+        prog.add_extra_section(".pssp_static", 512);
+        assert_eq!(prog.binary_size(), before + 512);
+        assert_eq!(prog.extra_sections().len(), 1);
+    }
+
+    #[test]
+    fn replace_body_invalidates_finalization() {
+        let mut prog = Program::new();
+        let a = prog.add_function("a", tiny_function()).unwrap();
+        prog.finalize();
+        assert!(prog.is_finalized());
+        prog.replace_function_body(a, vec![Inst::Ret]).unwrap();
+        assert!(!prog.is_finalized());
+        prog.finalize();
+        assert_eq!(prog.function(a).unwrap().insts().len(), 1);
+    }
+
+    #[test]
+    fn replace_body_unknown_function_errors() {
+        let mut prog = Program::new();
+        assert!(prog.replace_function_body(FuncId(9), vec![]).is_err());
+    }
+}

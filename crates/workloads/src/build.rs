@@ -1,0 +1,183 @@
+//! Building workload binaries under the different deployment vehicles.
+//!
+//! Every performance experiment of the paper compares three builds of the
+//! same source: the native build (default compiler options), the build
+//! produced by the P-SSP compiler plugin, and the SSP build upgraded by the
+//! binary rewriter.  [`Build`] captures that choice and [`build_machine`]
+//! produces a ready-to-run [`Machine`] for it.
+
+use polycanary_compiler::codegen::Compiler;
+use polycanary_compiler::ir::ModuleDef;
+use polycanary_core::scheme::SchemeKind;
+use polycanary_rewriter::{LinkMode, Rewriter};
+use polycanary_vm::machine::Machine;
+
+/// One way of producing the workload binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Build {
+    /// Default compilation, no stack protection ("native execution").
+    Native,
+    /// Compiled with the given scheme's compiler plugin.
+    Compiler(SchemeKind),
+    /// Compiled with classic SSP and upgraded by the binary rewriter
+    /// (dynamic-link mode unless stated otherwise).
+    BinaryRewriter(LinkMode),
+}
+
+impl Build {
+    /// Human-readable label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            Build::Native => "native".to_string(),
+            Build::Compiler(kind) => format!("compiler {kind}"),
+            Build::BinaryRewriter(LinkMode::Dynamic) => "instrumentation (dynamic link)".to_string(),
+            Build::BinaryRewriter(LinkMode::Static) => "instrumentation (static link)".to_string(),
+        }
+    }
+
+    /// The three builds Figure 5 compares.
+    pub fn figure5_builds() -> [Build; 3] {
+        [Build::Native, Build::Compiler(SchemeKind::Pssp), Build::BinaryRewriter(LinkMode::Dynamic)]
+    }
+}
+
+/// Compiles `module` according to `build` and wraps it in a machine with the
+/// matching runtime (shared library) attached.
+///
+/// # Panics
+///
+/// Panics if the module fails to compile or rewrite — workload modules are
+/// generated programmatically and are well-formed by construction, so a
+/// failure indicates a bug in the workload generator itself.
+pub fn build_machine(module: &ModuleDef, build: Build, seed: u64) -> Machine {
+    match build {
+        Build::Native => Compiler::new(SchemeKind::Native)
+            .compile(module)
+            .expect("workload modules always compile")
+            .into_machine(seed),
+        Build::Compiler(kind) => Compiler::new(kind)
+            .compile(module)
+            .expect("workload modules always compile")
+            .into_machine(seed),
+        Build::BinaryRewriter(mode) => {
+            let compiled = Compiler::new(SchemeKind::Ssp)
+                .compile(module)
+                .expect("workload modules always compile");
+            let mut program = compiled.program;
+            Rewriter::new()
+                .with_link_mode(mode)
+                .rewrite(&mut program)
+                .expect("SSP workloads are always rewritable");
+            let hooks = SchemeKind::PsspBin32.scheme().runtime_hooks(seed ^ 0x5EED_B175);
+            Machine::new(program, hooks, seed)
+        }
+    }
+}
+
+/// Binary size of `module` under `build`, in bytes (used by Table II).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`build_machine`].
+pub fn binary_size(module: &ModuleDef, build: Build) -> u64 {
+    match build {
+        Build::Native => Compiler::new(SchemeKind::Native)
+            .compile(module)
+            .expect("workload modules always compile")
+            .program
+            .binary_size(),
+        Build::Compiler(kind) => Compiler::new(kind)
+            .compile(module)
+            .expect("workload modules always compile")
+            .program
+            .binary_size(),
+        Build::BinaryRewriter(mode) => {
+            let compiled = Compiler::new(SchemeKind::Ssp)
+                .compile(module)
+                .expect("workload modules always compile");
+            let mut program = compiled.program;
+            Rewriter::new()
+                .with_link_mode(mode)
+                .rewrite(&mut program)
+                .expect("SSP workloads are always rewritable");
+            program.binary_size()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder};
+
+    fn sample_module() -> ModuleDef {
+        ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("work")
+                    .buffer("buf", 32)
+                    .safe_copy("buf")
+                    .compute(1000)
+                    .returns(0)
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_build_produces_a_runnable_machine() {
+        for build in [
+            Build::Native,
+            Build::Compiler(SchemeKind::Ssp),
+            Build::Compiler(SchemeKind::Pssp),
+            Build::BinaryRewriter(LinkMode::Dynamic),
+            Build::BinaryRewriter(LinkMode::Static),
+        ] {
+            let mut machine = build_machine(&sample_module(), build, 1);
+            let (outcome, _) = machine.spawn_and_run().unwrap();
+            assert!(outcome.exit.is_normal(), "{}: {:?}", build.label(), outcome.exit);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = [
+            Build::Native,
+            Build::Compiler(SchemeKind::Pssp),
+            Build::BinaryRewriter(LinkMode::Dynamic),
+            Build::BinaryRewriter(LinkMode::Static),
+        ]
+        .iter()
+        .map(Build::label)
+        .collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in labels.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_sizes_follow_table2_ordering() {
+        let module = sample_module();
+        let native = binary_size(&module, Build::Native);
+        let compiler = binary_size(&module, Build::Compiler(SchemeKind::Pssp));
+        let dynamic = binary_size(&module, Build::BinaryRewriter(LinkMode::Dynamic));
+        let ssp = binary_size(&module, Build::Compiler(SchemeKind::Ssp));
+        let statically = binary_size(&module, Build::BinaryRewriter(LinkMode::Static));
+        // Compiler-based P-SSP grows the binary slightly over native.
+        assert!(compiler > native);
+        // Dynamic-link instrumentation does not grow the SSP binary at all.
+        assert_eq!(dynamic, ssp);
+        // Static-link instrumentation appends the extra glibc section.
+        assert!(statically > dynamic);
+    }
+
+    #[test]
+    fn figure5_builds_cover_the_three_bars() {
+        let builds = Build::figure5_builds();
+        assert_eq!(builds[0], Build::Native);
+        assert!(matches!(builds[1], Build::Compiler(SchemeKind::Pssp)));
+        assert!(matches!(builds[2], Build::BinaryRewriter(LinkMode::Dynamic)));
+    }
+}

@@ -1,0 +1,30 @@
+//! P-SSP-OWF (§IV-C): even if one frame's canary leaks through a memory
+//! disclosure bug, it cannot be replayed to smash a different frame.
+//!
+//! Run with: `cargo run --example exposure_resilience`
+
+use polycanary::attacks::{CanaryReuseAttack, ForkingServer, VictimConfig};
+use polycanary::core::SchemeKind;
+
+fn main() {
+    println!("canary disclosure + reuse over one keep-alive connection\n");
+
+    for scheme in [SchemeKind::Ssp, SchemeKind::Pssp, SchemeKind::PsspNt, SchemeKind::PsspOwf] {
+        let mut server = ForkingServer::new(VictimConfig::new(scheme, 0x1EAC));
+        let result = CanaryReuseAttack::default().run(&mut server);
+        let leaked = result
+            .recovered_canary
+            .as_ref()
+            .map(|c| format!("{} canary bytes leaked", c.len()))
+            .unwrap_or_else(|| "nothing leaked".to_string());
+        println!(
+            "{:<12} {:<28} replaying them against another frame: {}",
+            scheme.name(),
+            leaked,
+            if result.success { "HIJACKED" } else { "detected" }
+        );
+    }
+
+    println!("\nonly P-SSP-OWF binds the canary to the frame's return address and a nonce");
+    println!("under a secret AES key, so a leaked canary is useless anywhere else.");
+}

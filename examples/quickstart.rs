@@ -1,0 +1,58 @@
+//! Quickstart: compile a vulnerable request handler under classic SSP and
+//! under P-SSP, overflow it, and watch what each protection does.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use polycanary::compiler::{Compiler, FunctionBuilder, ModuleBuilder};
+use polycanary::core::SchemeKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny "network service": handle_request copies the request into a
+    // 64-byte stack buffer with no bounds check.
+    let module = ModuleBuilder::new()
+        .function(
+            FunctionBuilder::new("handle_request")
+                .buffer("request", 64)
+                .vulnerable_copy("request")
+                .compute(500)
+                .returns(0)
+                .build(),
+        )
+        .function(FunctionBuilder::new("main").call("handle_request").returns(0).build())
+        .entry("main")
+        .build()?;
+
+    println!("request handler with a 64-byte buffer and an unbounded copy\n");
+
+    for scheme in [SchemeKind::Native, SchemeKind::Ssp, SchemeKind::Pssp, SchemeKind::PsspOwf] {
+        let compiled = Compiler::new(scheme).compile(&module)?;
+        let code_bytes = compiled.code_size();
+        let mut machine = compiled.into_machine(42);
+
+        // A benign request.
+        let mut process = machine.spawn();
+        process.set_input(b"GET /index.html".to_vec());
+        let ok = machine.run(&mut process)?;
+
+        // A smashing request: 64 bytes of filler plus enough to reach the
+        // saved return address under every layout.
+        let mut process = machine.spawn();
+        process.set_input(vec![0x41u8; 64 + 32]);
+        let smashed = machine.run(&mut process)?;
+
+        println!(
+            "{:<12} code = {:>4} bytes | benign: {:<28} | overflow: {}",
+            scheme.name(),
+            code_bytes,
+            format!("{:?}", ok.exit),
+            match &smashed.exit {
+                e if e.is_detection() => "stack smashing detected".to_string(),
+                e if e.is_normal() => "ran to completion (!)".to_string(),
+                e => format!("crashed undetected ({e:?})"),
+            }
+        );
+    }
+
+    println!("\nnative execution lets the overflow through; every canary scheme detects it.");
+    Ok(())
+}

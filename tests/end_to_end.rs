@@ -1,0 +1,76 @@
+//! End-to-end smoke tests across the whole workspace: compile → (rewrite) →
+//! run → attack → measure, exercising the public facade the way a downstream
+//! user would.
+
+use polycanary::attacks::{ByteByByteAttack, ForkingServer, VictimConfig};
+use polycanary::compiler::{code_expansion, Compiler, FunctionBuilder, ModuleBuilder};
+use polycanary::core::{attack_effort, SchemeKind};
+use polycanary::rewriter::{instrument_and_load, LinkMode};
+use polycanary::workloads::build::Build;
+use polycanary::workloads::spec::spec_suite;
+use polycanary::workloads::webserver::{benchmark_server, LoadConfig, ServerModel};
+
+#[test]
+fn the_full_pipeline_holds_together() {
+    // 1. Author a vulnerable service.
+    let module = ModuleBuilder::new()
+        .function(
+            FunctionBuilder::new("handle_request")
+                .buffer("buf", 64)
+                .vulnerable_copy("buf")
+                .returns(0)
+                .build(),
+        )
+        .function(FunctionBuilder::new("main").call("handle_request").returns(0).build())
+        .entry("main")
+        .build()
+        .unwrap();
+
+    // 2. Compiler deployment of P-SSP detects the overflow.
+    let compiled = Compiler::new(SchemeKind::Pssp).compile(&module).unwrap();
+    let mut machine = compiled.into_machine(1);
+    let mut process = machine.spawn();
+    process.set_input(vec![0x41u8; 96]);
+    assert!(machine.run(&mut process).unwrap().exit.is_detection());
+
+    // 3. Binary-rewriter deployment of the same service also detects it.
+    let ssp = Compiler::new(SchemeKind::Ssp).compile(&module).unwrap();
+    let (mut machine, report) = instrument_and_load(ssp.program, LinkMode::Dynamic, 1).unwrap();
+    assert_eq!(report.expansion_percent(), 0.0);
+    let mut process = machine.spawn();
+    process.set_input(vec![0x41u8; 96]);
+    assert!(machine.run(&mut process).unwrap().exit.is_detection());
+
+    // 4. The analytical model and the measured attack agree on SSP's
+    //    weakness.
+    let effort = attack_effort(&SchemeKind::Ssp.scheme().properties());
+    assert_eq!(effort.byte_by_byte_trials, 1024);
+    let mut server = ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 4));
+    let geometry = server.geometry();
+    let result = ByteByByteAttack::default().run(&mut server, geometry, SchemeKind::Ssp);
+    assert!(result.success);
+
+    // 5. Code expansion of the compiler deployment stays small on a
+    //    realistic program.
+    let program = spec_suite()[0];
+    let expansion = code_expansion(&program.module(), SchemeKind::Pssp).unwrap();
+    assert!(expansion.percent() > 0.0 && expansion.percent() < 10.0);
+
+    // 6. Server-level overhead is negligible.
+    let cfg = LoadConfig { requests: 30, concurrency: 10, seed: 4 };
+    let native = benchmark_server(ServerModel::NginxLike, Build::Native, cfg);
+    let pssp = benchmark_server(ServerModel::NginxLike, Build::Compiler(SchemeKind::Pssp), cfg);
+    let overhead = (pssp.mean_cycles - native.mean_cycles) / native.mean_cycles * 100.0;
+    assert!(overhead < 1.0, "{overhead}");
+}
+
+#[test]
+fn every_scheme_survives_benign_traffic_across_many_forks() {
+    for scheme in SchemeKind::ALL {
+        let mut server = ForkingServer::new(VictimConfig::new(scheme, 9));
+        for i in 0..50u8 {
+            let outcome = server.serve(&vec![b'a'; (i % 40) as usize]);
+            assert_eq!(outcome, polycanary::attacks::RequestOutcome::Survived, "{scheme}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! E12 — §VII-C: the layout-preserving variant that stores C1 in a per-thread
+//! global buffer (Figure 6) keeps children verifiable when they return into
+//! frames created by their parent.
+
+use polycanary::core::schemes::GlobalBufferPssp;
+use polycanary::crypto::{Prng, SplitMix64};
+use polycanary::vm::{Pid, Process};
+
+#[test]
+fn figure6_fork_and_return_scenario() {
+    let mut rng = SplitMix64::new(6);
+    let mut parent = Process::new(Pid(1), 6, 64 * 1024);
+    parent.tls.set_canary(rng.next_u64());
+
+    // The parent opens three nested protected frames ...
+    let outer = GlobalBufferPssp::prologue(&mut parent, &mut rng).unwrap();
+    let middle = GlobalBufferPssp::prologue(&mut parent, &mut rng).unwrap();
+    let inner = GlobalBufferPssp::prologue(&mut parent, &mut rng).unwrap();
+    assert_eq!(GlobalBufferPssp::depth(&parent).unwrap(), 3);
+
+    // ... then forks a worker.
+    let mut child = parent.fork(Pid(2));
+    GlobalBufferPssp::on_fork_child(&mut child);
+
+    // The child unwinds through the inherited frames without false positives.
+    assert!(GlobalBufferPssp::epilogue(&mut child, inner).unwrap());
+    assert!(GlobalBufferPssp::epilogue(&mut child, middle).unwrap());
+    assert!(GlobalBufferPssp::epilogue(&mut child, outer).unwrap());
+
+    // The parent's own unwind is unaffected by the child's.
+    assert!(GlobalBufferPssp::epilogue(&mut parent, inner).unwrap());
+    assert!(GlobalBufferPssp::epilogue(&mut parent, middle).unwrap());
+    assert!(GlobalBufferPssp::epilogue(&mut parent, outer).unwrap());
+}
+
+#[test]
+fn corrupting_the_single_stack_word_is_still_detected() {
+    let mut rng = SplitMix64::new(7);
+    let mut process = Process::new(Pid(1), 7, 64 * 1024);
+    process.tls.set_canary(rng.next_u64());
+    let c0 = GlobalBufferPssp::prologue(&mut process, &mut rng).unwrap();
+    // An overflow that rewrites the (SSP-sized) stack slot fails the check.
+    assert!(!GlobalBufferPssp::epilogue(&mut process, c0 ^ 0x4141_4141).unwrap());
+}
+
+#[test]
+fn stack_layout_stays_ssp_compatible() {
+    // The variant's goal: the stack still carries exactly one canary word, so
+    // binaries keep the -fstack-protector layout.
+    use polycanary::core::SchemeKind;
+    assert_eq!(SchemeKind::Ssp.scheme().canary_region_words(), 1);
+    // (The global-buffer variant piggybacks on that same single slot; the C1
+    // counterpart lives in the globals segment, checked above.)
+}

@@ -1,0 +1,167 @@
+//! Property-based integration tests over the whole pipeline: for randomly
+//! generated victims and payloads, the fundamental invariants of every
+//! canary scheme must hold.
+//!
+//! * benign inputs (within the buffer) never trigger the protector,
+//! * inputs that overrun into the canary region never complete normally
+//!   under a protected scheme, and never achieve an undetected hijack,
+//! * the binary rewriter never changes a function's encoded size,
+//! * Algorithm 1's outputs always recombine to the TLS canary.
+
+use proptest::prelude::*;
+
+use polycanary::attacks::HIJACK_TARGET;
+use polycanary::compiler::{Compiler, FunctionBuilder, ModuleBuilder, ModuleDef};
+use polycanary::core::{re_randomize, SchemeKind, SplitCanary};
+use polycanary::crypto::SplitMix64;
+use polycanary::rewriter::Rewriter;
+
+/// Builds a single-function victim with the given buffer size.
+fn victim(buffer_size: u32) -> ModuleDef {
+    ModuleBuilder::new()
+        .function(
+            FunctionBuilder::new("victim")
+                .buffer("buf", buffer_size)
+                .vulnerable_copy("buf")
+                .returns(0)
+                .build(),
+        )
+        .build()
+        .expect("victim module is well-formed")
+}
+
+/// Runs the victim under `scheme` with an attacker payload of `payload_len`
+/// bytes and returns the exit.
+fn run_victim(scheme: SchemeKind, buffer_size: u32, payload_len: usize, seed: u64) -> polycanary::vm::Exit {
+    let compiled = Compiler::new(scheme).compile(&victim(buffer_size)).expect("compiles");
+    let mut machine = compiled.into_machine(seed);
+    machine.exec_config.hijack_target = Some(HIJACK_TARGET);
+    let mut process = machine.spawn();
+    let mut payload = vec![0x41u8; payload_len];
+    // If the payload is long enough to reach the return address under any
+    // layout, plant the hijack target at its end so an undetected overwrite
+    // would be observable as a hijack rather than a random crash.
+    if payload_len >= 8 {
+        let at = payload_len - 8;
+        payload[at..].copy_from_slice(&HIJACK_TARGET.to_le_bytes());
+    }
+    process.set_input(payload);
+    machine.run(&mut process).expect("entry exists").exit
+}
+
+/// Schemes exercised by the random campaigns (the full set minus Native,
+/// which by definition detects nothing).
+const PROTECTED: [SchemeKind; 8] = [
+    SchemeKind::Ssp,
+    SchemeKind::RafSsp,
+    SchemeKind::DynaGuard,
+    SchemeKind::Dcr,
+    SchemeKind::Pssp,
+    SchemeKind::PsspNt,
+    SchemeKind::PsspLv,
+    SchemeKind::PsspOwf,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn benign_inputs_never_trip_any_protector(
+        buffer_exp in 3u32..7,           // buffers of 8..64 bytes
+        fill in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let buffer_size = 1u32 << buffer_exp;
+        let payload_len = fill % (buffer_size as usize + 1);
+        for scheme in PROTECTED {
+            let exit = run_victim(scheme, buffer_size, payload_len, seed);
+            prop_assert!(exit.is_normal(), "{scheme}: false positive on {payload_len} bytes into a {buffer_size}-byte buffer: {exit:?}");
+        }
+    }
+
+    #[test]
+    fn overflows_into_the_canary_region_are_never_silently_survived(
+        buffer_exp in 3u32..7,
+        extra in 1u32..24,
+        seed in any::<u64>(),
+    ) {
+        let buffer_size = 1u32 << buffer_exp;
+        for scheme in PROTECTED {
+            // Overwrite the whole canary region of this scheme plus `extra`
+            // bytes of the saved registers (but never beyond the mapped
+            // stack: region + rbp + ret is always mapped for these sizes).
+            let region = scheme.scheme().canary_region_words() * 8;
+            let payload_len = (buffer_size + region + extra.min(16)) as usize;
+            let exit = run_victim(scheme, buffer_size, payload_len, seed);
+            prop_assert!(
+                !exit.is_normal(),
+                "{scheme}: an overflow clobbering the canary region completed normally"
+            );
+            prop_assert!(
+                !exit.is_hijack(),
+                "{scheme}: an overflow clobbering the canary region hijacked control flow undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn unprotected_native_build_is_hijackable_for_contrast(
+        buffer_exp in 3u32..7,
+        seed in any::<u64>(),
+    ) {
+        let buffer_size = 1u32 << buffer_exp;
+        // Overwrite buffer + saved rbp + return address exactly.
+        let payload_len = (buffer_size + 16) as usize;
+        let exit = run_victim(SchemeKind::Native, buffer_size, payload_len, seed);
+        prop_assert!(exit.is_hijack(), "native build should be hijackable: {exit:?}");
+    }
+
+    #[test]
+    fn rewriter_preserves_every_function_size_for_random_programs(
+        buffers in proptest::collection::vec(8u32..128, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let mut builder = ModuleBuilder::new();
+        for (i, size) in buffers.iter().enumerate() {
+            builder = builder.function(
+                FunctionBuilder::new(format!("f{i}"))
+                    .buffer("buf", *size)
+                    .vulnerable_copy("buf")
+                    .compute(u64::from(*size))
+                    .returns(0)
+                    .build(),
+            );
+        }
+        let module = builder.build().expect("well-formed");
+        let compiled = Compiler::new(SchemeKind::Ssp).compile(&module).expect("compiles");
+        let mut program = compiled.program;
+        let before: Vec<u64> = program.iter().map(|(_, f)| f.encoded_size()).collect();
+        Rewriter::new().rewrite(&mut program).expect("rewritable");
+        let after: Vec<u64> = program.iter().map(|(_, f)| f.encoded_size()).collect();
+        prop_assert_eq!(before, after);
+        let _ = seed;
+    }
+
+    #[test]
+    fn rerandomization_always_recombines_to_the_tls_canary(
+        canary in any::<u64>(),
+        seed in any::<u64>(),
+        draws in 1usize..16,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut previous = Vec::new();
+        for _ in 0..draws {
+            let split = re_randomize(canary, &mut rng);
+            prop_assert!(split.verifies(canary));
+            prop_assert!(SplitCanary::new(split.c0, split.c1).combined() == canary);
+            previous.push(split);
+        }
+        // Pairs across draws are pairwise distinct with overwhelming
+        // probability; a collision would indicate broken re-randomization.
+        for (i, a) in previous.iter().enumerate() {
+            for b in previous.iter().skip(i + 1) {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! E2 — stack layouts under SSP, P-SSP and P-SSP-NT (Figures 1 and 2).
+//!
+//! Verifies, on the running machine, that the frame layouts match the
+//! figures: SSP keeps one canary word below the saved frame pointer, P-SSP
+//! keeps two, all frames of a P-SSP process share one split pair while every
+//! P-SSP-NT frame carries its own.
+
+use polycanary::compiler::{Compiler, FunctionBuilder, ModuleBuilder, ModuleDef};
+use polycanary::core::SchemeKind;
+
+fn victim_module() -> ModuleDef {
+    ModuleBuilder::new()
+        .function(
+            FunctionBuilder::new("victim")
+                .buffer("buf", 32)
+                .safe_copy("buf")
+                .returns(0)
+                .build(),
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn ssp_frame_holds_the_tls_canary_one_word_below_rbp() {
+    let compiled = Compiler::new(SchemeKind::Ssp).compile(&victim_module()).unwrap();
+    assert_eq!(compiled.frame("victim").unwrap().canary_words, 1);
+    let mut machine = compiled.into_machine(3);
+    let mut process = machine.spawn();
+    process.set_input(vec![0u8; 4]);
+    let canary = process.tls.canary();
+    assert!(machine.run_function(&mut process, "victim").unwrap().exit.is_normal());
+    // The canary slot sits at [rbp - 8]; with the entry convention the frame
+    // pointer is stack_top - 16, so the slot is stack_top - 24.
+    let slot = process.memory.stack_top() - 24;
+    assert_eq!(process.memory.read_u64(slot).unwrap(), canary, "Figure 1a: stack canary == C");
+}
+
+#[test]
+fn pssp_frame_holds_a_split_pair_that_xors_to_the_tls_canary() {
+    let compiled = Compiler::new(SchemeKind::Pssp).compile(&victim_module()).unwrap();
+    assert_eq!(compiled.frame("victim").unwrap().canary_words, 2);
+    let mut machine = compiled.into_machine(3);
+    let mut process = machine.spawn();
+    process.set_input(vec![0u8; 4]);
+    let canary = process.tls.canary();
+    let (c0, c1) = process.tls.shadow_canary();
+    assert_eq!(c0 ^ c1, canary, "the shared library established C0 xor C1 = C");
+    assert!(machine.run_function(&mut process, "victim").unwrap().exit.is_normal());
+    let c0_slot = process.memory.stack_top() - 24; // rbp - 8
+    let c1_slot = process.memory.stack_top() - 32; // rbp - 16
+    assert_eq!(process.memory.read_u64(c0_slot).unwrap(), c0, "Figure 1b: C0 in the frame");
+    assert_eq!(process.memory.read_u64(c1_slot).unwrap(), c1, "Figure 1b: C1 in the frame");
+    assert_ne!(c0, canary, "the TLS canary itself never appears on the stack");
+}
+
+#[test]
+fn pssp_frames_share_one_pair_but_nt_frames_differ_per_call() {
+    // Figure 2: P-SSP uses the same stack canary for all frames of a process,
+    // P-SSP-NT gives every frame its own.
+    let read_frame_pair = |scheme: SchemeKind, runs: usize| -> Vec<(u64, u64)> {
+        let compiled = Compiler::new(scheme).compile(&victim_module()).unwrap();
+        let mut machine = compiled.into_machine(11);
+        let mut process = machine.spawn();
+        let mut pairs = Vec::new();
+        for _ in 0..runs {
+            process.set_input(vec![0u8; 4]);
+            assert!(machine.run_function(&mut process, "victim").unwrap().exit.is_normal());
+            let c0 = process.memory.read_u64(process.memory.stack_top() - 24).unwrap();
+            let c1 = process.memory.read_u64(process.memory.stack_top() - 32).unwrap();
+            pairs.push((c0, c1));
+        }
+        pairs
+    };
+
+    let pssp = read_frame_pair(SchemeKind::Pssp, 3);
+    assert!(pssp.windows(2).all(|w| w[0] == w[1]), "P-SSP: same pair in every frame: {pssp:?}");
+
+    let nt = read_frame_pair(SchemeKind::PsspNt, 3);
+    assert!(nt.windows(2).all(|w| w[0] != w[1]), "P-SSP-NT: fresh pair per call: {nt:?}");
+}
+
+#[test]
+fn owf_frame_holds_nonce_and_ciphertext_not_the_tls_canary() {
+    let compiled = Compiler::new(SchemeKind::PsspOwf).compile(&victim_module()).unwrap();
+    assert_eq!(compiled.frame("victim").unwrap().canary_words, 3);
+    let mut machine = compiled.into_machine(3);
+    let mut process = machine.spawn();
+    process.set_input(vec![0u8; 4]);
+    let canary = process.tls.canary();
+    assert!(machine.run_function(&mut process, "victim").unwrap().exit.is_normal());
+    for offset in [24u64, 32, 40] {
+        let value = process.memory.read_u64(process.memory.stack_top() - offset).unwrap();
+        assert_ne!(value, canary, "no slot of the OWF frame exposes the TLS canary");
+    }
+}

@@ -1,0 +1,490 @@
+//! Multi-seed attack campaigns with parallel fan-out.
+//!
+//! A single attack run (one victim seed, one strategy) is an anecdote: the
+//! byte-by-byte attack against SSP may be lucky or unlucky by hundreds of
+//! requests depending on the canary the loader drew.  The paper's §VI-C
+//! claims are statistical — *SSP falls in about a thousand requests, P-SSP
+//! survives* — so this module provides the statistically robust version:
+//! a [`Campaign`] replays one strategy against **N independent victims**
+//! (same binary, different loader seeds) and aggregates success rate and the
+//! request-count distribution (min / median / p95 / max, mean ± std-dev).
+//!
+//! Victims are completely independent, so campaigns fan out over a work
+//! queue drained by scoped worker threads ([`std::thread::scope`]).  Every
+//! run is deterministic in its seed, which makes the aggregate deterministic
+//! too: the report is identical whatever the worker-thread count (only
+//! `wall_time` varies).
+//!
+//! # Example
+//!
+//! ```
+//! use polycanary_attacks::campaign::{AttackKind, Campaign};
+//! use polycanary_core::scheme::SchemeKind;
+//!
+//! // Byte-by-byte vs classic SSP over 8 victim seeds: falls every time.
+//! let report = Campaign::new(AttackKind::ByteByByte { budget: 4_000 }, SchemeKind::Ssp)
+//!     .with_seed_range(0xA77A, 8)
+//!     .run();
+//! assert_eq!(report.success_rate(), 1.0);
+//! let stats = report.trial_stats().unwrap();
+//! assert!(stats.min >= 64 && stats.max <= 8 * 256 + 1);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use polycanary_core::scheme::SchemeKind;
+
+use crate::byte_by_byte::ByteByByteAttack;
+use crate::exhaustive::ExhaustiveAttack;
+use crate::reuse::CanaryReuseAttack;
+use crate::stats::{AttackResult, AttackSummary};
+use crate::victim::{Deployment, ForkingServer, VictimConfig};
+
+/// Strategy selector: which attack a campaign replays against every victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// The BROP-style byte-by-byte attack of §II-B.
+    ByteByByte {
+        /// Oracle-query budget per victim.
+        budget: u64,
+    },
+    /// Whole-word exhaustive guessing (§III-C1).
+    Exhaustive {
+        /// Oracle-query budget per victim.
+        budget: u64,
+    },
+    /// The canary-disclosure-and-reuse attack (§IV-C).
+    Reuse,
+}
+
+impl AttackKind {
+    /// Strategy name as used in [`AttackResult::strategy`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::ByteByByte { .. } => "byte-by-byte",
+            AttackKind::Exhaustive { .. } => "exhaustive",
+            AttackKind::Reuse => "canary-reuse",
+        }
+    }
+
+    /// Runs this strategy once against a fresh victim built from `victim`.
+    pub fn run_once(&self, victim: VictimConfig) -> AttackResult {
+        let scheme = victim.scheme;
+        let mut server = ForkingServer::new(victim);
+        match *self {
+            AttackKind::ByteByByte { budget } => {
+                let geometry = server.geometry();
+                ByteByByteAttack::with_budget(budget).run(&mut server, geometry, scheme)
+            }
+            AttackKind::Exhaustive { budget } => {
+                let geometry = server.geometry();
+                ExhaustiveAttack::with_budget(budget).run(&mut server, geometry, scheme)
+            }
+            AttackKind::Reuse => CanaryReuseAttack::default().run(&mut server),
+        }
+    }
+}
+
+/// One completed attack run within a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRun {
+    /// The victim's loader seed.
+    pub seed: u64,
+    /// The attack outcome against that victim.
+    pub result: AttackResult,
+}
+
+/// Request-count distribution over a set of runs.
+///
+/// Percentiles use the nearest-rank definition on the sorted sample, so
+/// every reported value is an actually observed request count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialStats {
+    /// Smallest observed request count.
+    pub min: u64,
+    /// Nearest-rank 50th percentile.
+    pub median: u64,
+    /// Nearest-rank 95th percentile.
+    pub p95: u64,
+    /// Largest observed request count.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl TrialStats {
+    /// Computes the distribution of `samples`; `None` when empty.
+    pub fn from_samples(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let nearest_rank = |q: f64| -> u64 {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+        let variance = sorted
+            .iter()
+            .map(|&t| {
+                let d = t as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / sorted.len() as f64;
+        Some(TrialStats {
+            min: sorted[0],
+            median: nearest_rank(0.50),
+            p95: nearest_rank(0.95),
+            max: *sorted.last().expect("non-empty"),
+            mean,
+            std_dev: variance.sqrt(),
+        })
+    }
+}
+
+impl std::fmt::Display for TrialStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.0} ± {:.0} (min {}, median {}, p95 {}, max {})",
+            self.mean, self.std_dev, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+/// Aggregate outcome of a [`Campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Strategy name.
+    pub attack: &'static str,
+    /// Scheme protecting every victim.
+    pub scheme: SchemeKind,
+    /// Per-seed runs, in the order the seeds were configured (not the order
+    /// workers finished them), so reports are reproducible.
+    pub runs: Vec<CampaignRun>,
+    /// Wall-clock time of the whole fan-out.
+    pub wall_time: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl CampaignReport {
+    /// Number of runs.
+    pub fn campaigns(&self) -> u64 {
+        self.runs.len() as u64
+    }
+
+    /// Number of runs that ended in an undetected hijack.
+    pub fn successes(&self) -> u64 {
+        self.runs.iter().filter(|r| r.result.success).count() as u64
+    }
+
+    /// Fraction of runs that succeeded, in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.successes() as f64 / self.campaigns() as f64
+        }
+    }
+
+    /// Whether the attack succeeded against every victim seed.
+    pub fn all_succeeded(&self) -> bool {
+        !self.runs.is_empty() && self.successes() == self.campaigns()
+    }
+
+    /// Whether the attack failed against every victim seed.
+    pub fn none_succeeded(&self) -> bool {
+        self.successes() == 0
+    }
+
+    /// Request-count distribution over **all** runs.
+    pub fn trial_stats(&self) -> Option<TrialStats> {
+        TrialStats::from_samples(&self.runs.iter().map(|r| r.result.trials).collect::<Vec<_>>())
+    }
+
+    /// Request-count distribution over the **successful** runs only.
+    pub fn success_trial_stats(&self) -> Option<TrialStats> {
+        TrialStats::from_samples(
+            &self
+                .runs
+                .iter()
+                .filter(|r| r.result.success)
+                .map(|r| r.result.trials)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Bridges into the pre-existing scalar [`AttackSummary`] type.
+    pub fn summary(&self) -> AttackSummary {
+        let mut summary = AttackSummary::default();
+        for run in &self.runs {
+            summary.record(&run.result);
+        }
+        summary
+    }
+}
+
+/// Driver replaying one attack strategy against N independently seeded
+/// victims, fanned out over scoped worker threads.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    attack: AttackKind,
+    scheme: SchemeKind,
+    deployment: Deployment,
+    buffer_size: u32,
+    seeds: Vec<u64>,
+    workers: Option<usize>,
+}
+
+/// Default number of victim seeds per campaign — enough for the §VI-C
+/// tables to report a spread rather than an anecdote.
+pub const DEFAULT_SEEDS: usize = 32;
+
+impl Campaign {
+    /// A campaign of `attack` against compiler-deployed victims protected by
+    /// `scheme`, with [`DEFAULT_SEEDS`] seeds and one worker per CPU.
+    pub fn new(attack: AttackKind, scheme: SchemeKind) -> Self {
+        Campaign {
+            attack,
+            scheme,
+            deployment: Deployment::default(),
+            buffer_size: 64,
+            seeds: derive_seeds(0x00DD_5EED, DEFAULT_SEEDS),
+            workers: None,
+        }
+    }
+
+    /// Selects the deployment vehicle of every victim.
+    #[must_use]
+    pub fn with_deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// Overrides the vulnerable buffer size of every victim.
+    #[must_use]
+    pub fn with_buffer_size(mut self, size: u32) -> Self {
+        self.buffer_size = size;
+        self
+    }
+
+    /// Uses exactly these victim seeds (duplicates allowed; report order is
+    /// this order).
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Uses `count` seeds derived deterministically from `base`.
+    #[must_use]
+    pub fn with_seed_range(mut self, base: u64, count: usize) -> Self {
+        self.seeds = derive_seeds(base, count);
+        self
+    }
+
+    /// Overrides the worker-thread count (default: one per available CPU,
+    /// capped at the seed count; `0` is treated as `1`).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The configured victim seeds.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    fn victim_config(&self, seed: u64) -> VictimConfig {
+        VictimConfig::new(self.scheme, seed)
+            .with_deployment(self.deployment)
+            .with_buffer_size(self.buffer_size)
+    }
+
+    /// Runs the whole campaign, fanning the per-seed runs out over a work
+    /// queue drained by scoped worker threads.
+    pub fn run(&self) -> CampaignReport {
+        let workers = self
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+            .min(self.seeds.len())
+            .max(1);
+        let started = Instant::now();
+
+        // Work queue: a shared cursor over the seed list.  Workers claim the
+        // next unclaimed index, attack that victim, and deposit the result
+        // under its index so the report order matches the seed order no
+        // matter which worker finishes first.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<AttackResult>>> =
+            self.seeds.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&seed) = self.seeds.get(index) else { break };
+                    let result = self.attack.run_once(self.victim_config(seed));
+                    *slots[index].lock().expect("no worker panicked holding the slot") =
+                        Some(result);
+                });
+            }
+        });
+
+        let runs = self
+            .seeds
+            .iter()
+            .zip(slots)
+            .map(|(&seed, slot)| CampaignRun {
+                seed,
+                result: slot
+                    .into_inner()
+                    .expect("worker scope completed")
+                    .expect("every index was claimed exactly once"),
+            })
+            .collect();
+
+        CampaignReport {
+            attack: self.attack.name(),
+            scheme: self.scheme,
+            runs,
+            wall_time: started.elapsed(),
+            workers,
+        }
+    }
+}
+
+/// Derives `count` well-spread victim seeds from `base` (SplitMix64-style
+/// odd-constant stride so nearby bases do not share seeds).
+pub fn derive_seeds(base: u64, count: usize) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| {
+            (base ^ 0x5851_F42D_4C95_7F2D)
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(17)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::RequestOutcome;
+
+    #[test]
+    fn derive_seeds_is_deterministic_and_distinct() {
+        let a = derive_seeds(7, 64);
+        let b = derive_seeds(7, 64);
+        assert_eq!(a, b);
+        let mut unique = a.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 64, "derived seeds must be pairwise distinct");
+        assert_ne!(derive_seeds(8, 4), derive_seeds(7, 4));
+    }
+
+    #[test]
+    fn same_seed_same_attack_is_bitwise_reproducible() {
+        // Determinism at the single-run level: one victim seed, one
+        // strategy, identical request count and outcome every time.
+        for attack in [
+            AttackKind::ByteByByte { budget: 3_000 },
+            AttackKind::Exhaustive { budget: 50 },
+            AttackKind::Reuse,
+        ] {
+            let victim = VictimConfig::new(SchemeKind::Ssp, 0xD15EA5E);
+            let first = attack.run_once(victim);
+            let second = attack.run_once(victim);
+            assert_eq!(first, second, "{} must be deterministic in the seed", attack.name());
+        }
+    }
+
+    #[test]
+    fn report_is_independent_of_worker_count() {
+        let base = Campaign::new(AttackKind::ByteByByte { budget: 3_000 }, SchemeKind::Ssp)
+            .with_seed_range(42, 6);
+        let serial = base.clone().with_workers(1).run();
+        let parallel = base.clone().with_workers(4).run();
+        let oversubscribed = base.with_workers(64).run();
+        assert_eq!(serial.runs, parallel.runs);
+        assert_eq!(serial.runs, oversubscribed.runs);
+        assert_eq!(parallel.workers, 4);
+        // 64 workers for 6 seeds is clamped to the seed count.
+        assert_eq!(oversubscribed.workers, 6);
+    }
+
+    #[test]
+    fn ssp_falls_in_every_seed_and_pssp_in_none() {
+        let ssp = Campaign::new(AttackKind::ByteByByte { budget: 4_000 }, SchemeKind::Ssp)
+            .with_seed_range(1, 8)
+            .run();
+        assert!(ssp.all_succeeded(), "SSP must fall in every seed: {ssp:?}");
+        let stats = ssp.success_trial_stats().expect("all succeeded");
+        assert!(stats.min >= 64 && stats.max <= 8 * 256 + 1, "{stats}");
+        assert!(stats.min <= stats.median && stats.median <= stats.p95 && stats.p95 <= stats.max);
+
+        let pssp = Campaign::new(AttackKind::ByteByByte { budget: 4_000 }, SchemeKind::Pssp)
+            .with_seed_range(1, 8)
+            .run();
+        assert!(pssp.none_succeeded(), "P-SSP must survive every seed");
+        assert!(pssp.success_trial_stats().is_none());
+        assert_eq!(pssp.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn reuse_campaign_only_owf_resists() {
+        let pssp = Campaign::new(AttackKind::Reuse, SchemeKind::Pssp).with_seed_range(3, 6).run();
+        assert!(pssp.all_succeeded());
+        let owf = Campaign::new(AttackKind::Reuse, SchemeKind::PsspOwf).with_seed_range(3, 6).run();
+        assert!(owf.none_succeeded());
+        assert_eq!(
+            owf.runs[0].result.final_outcome,
+            Some(RequestOutcome::Detected),
+            "OWF detects the replayed canary"
+        );
+    }
+
+    #[test]
+    fn exhaustive_campaign_never_breaks_either_scheme_in_small_budgets() {
+        for scheme in [SchemeKind::Ssp, SchemeKind::Pssp] {
+            let report = Campaign::new(AttackKind::Exhaustive { budget: 200 }, scheme)
+                .with_seed_range(9, 4)
+                .run();
+            assert!(report.none_succeeded(), "{scheme}");
+            let stats = report.trial_stats().expect("has runs");
+            assert_eq!(stats.min, 200);
+            assert_eq!(stats.max, 200);
+            assert_eq!(stats.std_dev, 0.0);
+        }
+    }
+
+    #[test]
+    fn trial_stats_nearest_rank_percentiles() {
+        let stats = TrialStats::from_samples(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]).unwrap();
+        assert_eq!(stats.min, 10);
+        assert_eq!(stats.median, 50); // nearest-rank: ceil(0.5 * 10) = 5th value
+        assert_eq!(stats.p95, 100); // ceil(0.95 * 10) = 10th value
+        assert_eq!(stats.max, 100);
+        assert!((stats.mean - 55.0).abs() < 1e-9);
+        assert_eq!(TrialStats::from_samples(&[]), None);
+        let single = TrialStats::from_samples(&[7]).unwrap();
+        assert_eq!((single.min, single.median, single.p95, single.max), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn rewriter_deployment_campaign_resists_byte_by_byte() {
+        let report = Campaign::new(AttackKind::ByteByByte { budget: 2_000 }, SchemeKind::PsspBin32)
+            .with_deployment(Deployment::BinaryRewriter)
+            .with_seed_range(5, 4)
+            .run();
+        assert!(report.none_succeeded(), "rewritten binaries must resist: {report:?}");
+    }
+}

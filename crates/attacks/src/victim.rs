@@ -343,8 +343,8 @@ mod tests {
 
     #[test]
     fn rewriter_deployment_keeps_ssp_geometry() {
-        let config = VictimConfig::new(SchemeKind::PsspBin32, 1)
-            .with_deployment(Deployment::BinaryRewriter);
+        let config =
+            VictimConfig::new(SchemeKind::PsspBin32, 1).with_deployment(Deployment::BinaryRewriter);
         let server = ForkingServer::new(config);
         assert_eq!(server.geometry().canary_region_len, 8);
     }

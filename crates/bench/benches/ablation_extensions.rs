@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("full_ablation", |b| b.iter(|| exp::run_ablation(7)));
 
-    for scheme in
-        [SchemeKind::Pssp, SchemeKind::PsspNt, SchemeKind::PsspLv, SchemeKind::PsspOwf]
-    {
+    for scheme in [SchemeKind::Pssp, SchemeKind::PsspNt, SchemeKind::PsspLv, SchemeKind::PsspOwf] {
         group.bench_with_input(
             BenchmarkId::new("canary_reuse_attack", scheme.name()),
             &scheme,

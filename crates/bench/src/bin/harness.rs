@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p polycanary-bench --bin harness -- all
 //! cargo run -p polycanary-bench --bin harness -- table1 fig5 table5
-//! cargo run -p polycanary-bench --bin harness -- --seed 7 attack
+//! cargo run -p polycanary-bench --bin harness -- --seed 7 effectiveness
 //! ```
 
 use polycanary_bench::experiments as exp;
@@ -12,7 +12,9 @@ use polycanary_core::scheme::SchemeKind;
 fn print_usage() {
     eprintln!(
         "usage: harness [--seed N] [--quick] <experiment>...\n\
-         experiments: table1 fig5 table2 table3 table4 table5 attack theorem1 ablation all"
+         experiments: table1 fig5 table2 table3 table4 table5 effectiveness \
+         theorem1 ablation all\n\
+         (`attack` is accepted as an alias for `effectiveness`)"
     );
 }
 
@@ -23,7 +25,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut seed = 0x0DD5_EEDu64;
+    let mut seed = 0x00DD_5EEDu64;
     let mut quick = false;
     let mut experiments = Vec::new();
     let mut iter = args.into_iter();
@@ -49,6 +51,7 @@ fn main() {
     let requests = if quick { 50 } else { 500 };
     let queries = if quick { 5 } else { 50 };
     let byte_budget = if quick { 4_000 } else { 20_000 };
+    let campaign_seeds = if quick { 8 } else { exp::EFFECTIVENESS_SEEDS };
 
     let all = experiments.iter().any(|e| e == "all");
     let wants = |name: &str| all || experiments.iter().any(|e| e == name);
@@ -77,7 +80,7 @@ fn main() {
         println!("== Table V: prologue/epilogue CPU cycles ==");
         println!("{}", exp::format_table5(&exp::run_table5(seed)));
     }
-    if wants("attack") {
+    if wants("effectiveness") || wants("attack") {
         println!("== §VI-C: attack effectiveness (byte-by-byte, exhaustive, reuse) ==");
         let schemes = [
             SchemeKind::Ssp,
@@ -86,7 +89,15 @@ fn main() {
             SchemeKind::PsspOwf,
             SchemeKind::PsspBin32,
         ];
-        println!("{}", exp::format_effectiveness(&exp::run_effectiveness(seed, &schemes, byte_budget)));
+        println!(
+            "{}",
+            exp::format_effectiveness(&exp::run_effectiveness(
+                seed,
+                &schemes,
+                byte_budget,
+                campaign_seeds,
+            ))
+        );
     }
     if wants("theorem1") {
         println!("== Theorem 1: independence of exposed canaries ==");
@@ -98,9 +109,20 @@ fn main() {
     }
 
     if !all
-        && !["table1", "fig5", "table2", "table3", "table4", "table5", "attack", "theorem1", "ablation"]
-            .iter()
-            .any(|known| experiments.iter().any(|e| e == known))
+        && ![
+            "table1",
+            "fig5",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "effectiveness",
+            "attack",
+            "theorem1",
+            "ablation",
+        ]
+        .iter()
+        .any(|known| experiments.iter().any(|e| e == known))
     {
         eprintln!("no known experiment selected");
         print_usage();

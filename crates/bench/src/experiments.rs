@@ -8,9 +8,7 @@
 use std::fmt::Write as _;
 
 use polycanary_attacks::byte_by_byte::ByteByByteAttack;
-use polycanary_attacks::exhaustive::ExhaustiveAttack;
-use polycanary_attacks::reuse::CanaryReuseAttack;
-use polycanary_attacks::stats::AttackResult;
+use polycanary_attacks::campaign::{AttackKind, Campaign, CampaignReport};
 use polycanary_attacks::victim::{ForkingServer, VictimConfig};
 use polycanary_compiler::codegen::Compiler;
 use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder};
@@ -46,8 +44,13 @@ pub struct Table1Row {
 
 /// Runs the Table I comparison.
 pub fn run_table1(seed: u64, spec_programs: usize) -> Vec<Table1Row> {
-    let schemes =
-        [SchemeKind::Ssp, SchemeKind::RafSsp, SchemeKind::DynaGuard, SchemeKind::Dcr, SchemeKind::Pssp];
+    let schemes = [
+        SchemeKind::Ssp,
+        SchemeKind::RafSsp,
+        SchemeKind::DynaGuard,
+        SchemeKind::Dcr,
+        SchemeKind::Pssp,
+    ];
     let programs: Vec<SpecProgram> = spec_suite().into_iter().take(spec_programs.max(1)).collect();
     schemes
         .iter()
@@ -229,7 +232,9 @@ pub fn run_table2(programs: usize) -> Table2Result {
             // The instrumentation columns compare against the SSP binary the
             // rewriter starts from, matching the paper's methodology.
             let baseline = match build {
-                Build::BinaryRewriter(_) => binary_size(&module, Build::Compiler(SchemeKind::Ssp)) as f64,
+                Build::BinaryRewriter(_) => {
+                    binary_size(&module, Build::Compiler(SchemeKind::Ssp)) as f64
+                }
                 _ => native,
             };
             let protected = binary_size(&module, build) as f64;
@@ -279,7 +284,11 @@ pub fn run_table3(seed: u64, requests: u64) -> Vec<Table3Row> {
     for server in [ServerModel::ApacheLike, ServerModel::NginxLike] {
         for build in Build::figure5_builds() {
             let report = benchmark_server(server, build, config);
-            rows.push(Table3Row { server: report.server, build: report.build, mean_ms: report.mean_ms });
+            rows.push(Table3Row {
+                server: report.server,
+                build: report.build,
+                mean_ms: report.mean_ms,
+            });
         }
     }
     rows
@@ -332,7 +341,8 @@ pub fn run_table4(seed: u64, queries: u64) -> Vec<Table4Row> {
 /// Renders Table IV.
 pub fn format_table4(rows: &[Table4Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<8} {:<36} {:>16} {:>14}", "Engine", "Build", "Query (ms)", "Memory (MB)");
+    let _ =
+        writeln!(out, "{:<8} {:<36} {:>16} {:>14}", "Engine", "Build", "Query (ms)", "Memory (MB)");
     for row in rows {
         let _ = writeln!(
             out,
@@ -360,7 +370,10 @@ pub struct Table5Entry {
 /// Runs the Table V micro-measurement.
 pub fn run_table5(seed: u64) -> Vec<Table5Entry> {
     vec![
-        Table5Entry { label: "P-SSP".into(), cycles: canary_handling_cycles(SchemeKind::Pssp, 0, seed) },
+        Table5Entry {
+            label: "P-SSP".into(),
+            cycles: canary_handling_cycles(SchemeKind::Pssp, 0, seed),
+        },
         Table5Entry {
             label: "P-SSP-NT".into(),
             cycles: canary_handling_cycles(SchemeKind::PsspNt, 0, seed),
@@ -415,58 +428,92 @@ pub fn format_table5(entries: &[Table5Entry]) -> String {
 // §VI-C — attack effectiveness
 // ---------------------------------------------------------------------------
 
-/// Result of the effectiveness experiment for one scheme.
-#[derive(Debug, Clone, PartialEq)]
+/// Result of the effectiveness experiment for one scheme: one multi-seed
+/// campaign per attack strategy.
+#[derive(Debug, Clone)]
 pub struct EffectivenessRow {
     /// The scheme under attack.
     pub scheme: SchemeKind,
-    /// Byte-by-byte attack result.
-    pub byte_by_byte: AttackResult,
-    /// Exhaustive attack result (bounded budget).
-    pub exhaustive: AttackResult,
-    /// Canary-reuse attack result.
-    pub reuse: AttackResult,
+    /// Byte-by-byte campaign over all victim seeds.
+    pub byte_by_byte: CampaignReport,
+    /// Exhaustive campaign (bounded budget) over all victim seeds.
+    pub exhaustive: CampaignReport,
+    /// Canary-reuse campaign over all victim seeds.
+    pub reuse: CampaignReport,
 }
 
+/// Default number of independent victim seeds per effectiveness campaign
+/// (the campaign engine's own default, re-exposed under the experiment's
+/// name so the two can never drift apart).
+pub const EFFECTIVENESS_SEEDS: usize = polycanary_attacks::campaign::DEFAULT_SEEDS;
+
 /// Runs the §VI-C effectiveness experiment for the given schemes.
-pub fn run_effectiveness(seed: u64, schemes: &[SchemeKind], byte_budget: u64) -> Vec<EffectivenessRow> {
+///
+/// Every (scheme, attack) cell is a [`Campaign`] over `seeds` independent
+/// victim seeds derived from `seed`, fanned out over worker threads, so the
+/// reported numbers are a distribution (mean ± spread, min/median/p95/max)
+/// rather than a single-seed anecdote.
+pub fn run_effectiveness(
+    seed: u64,
+    schemes: &[SchemeKind],
+    byte_budget: u64,
+    seeds: usize,
+) -> Vec<EffectivenessRow> {
+    let seeds = seeds.max(1);
     schemes
         .iter()
         .map(|&scheme| {
-            let mut server = ForkingServer::new(VictimConfig::new(scheme, seed));
-            let geometry = server.geometry();
-            let byte_by_byte =
-                ByteByByteAttack::with_budget(byte_budget).run(&mut server, geometry, scheme);
-
-            let mut server = ForkingServer::new(VictimConfig::new(scheme, seed ^ 1));
-            let geometry = server.geometry();
-            let exhaustive = ExhaustiveAttack::with_budget(500).run(&mut server, geometry, scheme);
-
-            let mut server = ForkingServer::new(VictimConfig::new(scheme, seed ^ 2));
-            let reuse = CanaryReuseAttack::default().run(&mut server);
-
-            EffectivenessRow { scheme, byte_by_byte, exhaustive, reuse }
+            let campaign = |attack: AttackKind, base: u64| {
+                Campaign::new(attack, scheme).with_seed_range(base, seeds).run()
+            };
+            EffectivenessRow {
+                scheme,
+                byte_by_byte: campaign(AttackKind::ByteByByte { budget: byte_budget }, seed),
+                exhaustive: campaign(AttackKind::Exhaustive { budget: 500 }, seed ^ 1),
+                reuse: campaign(AttackKind::Reuse, seed ^ 2),
+            }
         })
         .collect()
+}
+
+/// Renders one campaign cell: success rate plus the request-count spread.
+fn format_campaign_cell(report: &CampaignReport) -> String {
+    let rate = format!("{}/{}", report.successes(), report.campaigns());
+    match report.success_trial_stats() {
+        Some(stats) => format!(
+            "breaks {rate}, {:.0}±{:.0} reqs (med {}, p95 {}, max {})",
+            stats.mean, stats.std_dev, stats.median, stats.p95, stats.max
+        ),
+        None => {
+            let trials = report.trial_stats().map(|s| s.median).unwrap_or(0);
+            format!("fails {rate} (median {trials} reqs)")
+        }
+    }
 }
 
 /// Renders the effectiveness experiment.
 pub fn format_effectiveness(rows: &[EffectivenessRow]) -> String {
     let mut out = String::new();
+    let seeds = rows.first().map(|r| r.byte_by_byte.campaigns()).unwrap_or(0);
+    let _ = writeln!(out, "per-scheme campaigns over {seeds} independent victim seeds");
     let _ = writeln!(
         out,
-        "{:<12} {:>22} {:>22} {:>18}",
-        "Scheme", "byte-by-byte", "exhaustive (500)", "canary reuse"
+        "{:<12} {:<52} {:<34} {:<30} {:>10}",
+        "Scheme", "byte-by-byte", "exhaustive (500)", "canary reuse", "wall (ms)"
     );
     for row in rows {
-        let bbb = if row.byte_by_byte.success {
-            format!("breaks in {} trials", row.byte_by_byte.trials)
-        } else {
-            format!("fails ({} trials)", row.byte_by_byte.trials)
-        };
-        let exh = if row.exhaustive.success { "breaks".to_string() } else { "fails".to_string() };
-        let reuse = if row.reuse.success { "breaks" } else { "fails" };
-        let _ = writeln!(out, "{:<12} {:>22} {:>22} {:>18}", row.scheme.name(), bbb, exh, reuse);
+        let wall_ms = (row.byte_by_byte.wall_time + row.exhaustive.wall_time + row.reuse.wall_time)
+            .as_secs_f64()
+            * 1_000.0;
+        let _ = writeln!(
+            out,
+            "{:<12} {:<52} {:<34} {:<30} {:>10.1}",
+            row.scheme.name(),
+            format_campaign_cell(&row.byte_by_byte),
+            format_campaign_cell(&row.exhaustive),
+            format_campaign_cell(&row.reuse),
+            wall_ms
+        );
     }
     out
 }
@@ -481,8 +528,7 @@ pub fn format_effectiveness(rows: &[EffectivenessRow]) -> String {
 pub fn run_theorem1(seed: u64, samples: usize) -> IndependenceTest {
     let mut rng = Xoshiro256StarStar::new(seed);
     let tls_canary = 0x0123_4567_89AB_CDEFu64 ^ seed;
-    let observed: Vec<u64> =
-        (0..samples).map(|_| re_randomize(tls_canary, &mut rng).c1).collect();
+    let observed: Vec<u64> = (0..samples).map(|_| re_randomize(tls_canary, &mut rng).c1).collect();
     theorem1_independence_test(&observed)
 }
 
@@ -490,7 +536,10 @@ pub fn run_theorem1(seed: u64, samples: usize) -> IndependenceTest {
 pub fn format_theorem1(result: &IndependenceTest) -> String {
     format!(
         "samples = {}, chi-square = {:.2} (df = {}), consistent with uniform: {}\n",
-        result.samples, result.chi_square, result.degrees_of_freedom, result.consistent_with_uniform
+        result.samples,
+        result.chi_square,
+        result.degrees_of_freedom,
+        result.consistent_with_uniform
     )
 }
 
@@ -620,11 +669,17 @@ mod tests {
                 assert_eq!(cell.memory_mb, chunk[0].memory_mb);
             }
         }
-        assert!(format_table3(&rows.iter().map(|r| Table3Row {
-            server: r.engine,
-            build: r.build.clone(),
-            mean_ms: r.query_ms
-        }).collect::<Vec<_>>()).contains("Build"));
+        assert!(format_table3(
+            &rows
+                .iter()
+                .map(|r| Table3Row {
+                    server: r.engine,
+                    build: r.build.clone(),
+                    mean_ms: r.query_ms
+                })
+                .collect::<Vec<_>>()
+        )
+        .contains("Build"));
         assert!(format_table4(&rows).contains("Memory"));
     }
 
@@ -647,14 +702,30 @@ mod tests {
 
     #[test]
     fn effectiveness_rows_separate_ssp_from_pssp() {
-        let rows = run_effectiveness(11, &[SchemeKind::Ssp, SchemeKind::Pssp], 4_000);
+        let rows = run_effectiveness(11, &[SchemeKind::Ssp, SchemeKind::Pssp], 4_000, 8);
         let ssp = &rows[0];
         let pssp = &rows[1];
-        assert!(ssp.byte_by_byte.success);
-        assert!(!pssp.byte_by_byte.success);
-        assert!(!ssp.exhaustive.success && !pssp.exhaustive.success);
-        assert!(ssp.reuse.success && pssp.reuse.success);
-        assert!(format_effectiveness(&rows).contains("breaks in"));
+        // The campaign verdicts must hold in *every* seed, not on average.
+        assert!(ssp.byte_by_byte.all_succeeded(), "SSP falls in every seed");
+        assert!(pssp.byte_by_byte.none_succeeded(), "P-SSP survives every seed");
+        assert!(ssp.exhaustive.none_succeeded() && pssp.exhaustive.none_succeeded());
+        assert!(ssp.reuse.all_succeeded() && pssp.reuse.all_succeeded());
+        // The request-count distribution matches the ~8·2⁷ analysis of §II-B.
+        let stats = ssp.byte_by_byte.success_trial_stats().expect("all succeeded");
+        assert!(stats.mean > 64.0 && stats.max <= 8 * 256 + 1, "{stats}");
+        let rendered = format_effectiveness(&rows);
+        assert!(rendered.contains("8 independent victim seeds"));
+        assert!(rendered.contains("breaks 8/8"));
+        assert!(rendered.contains("fails 0/8"));
+    }
+
+    #[test]
+    fn effectiveness_campaigns_are_reproducible() {
+        let once = run_effectiveness(3, &[SchemeKind::Ssp], 3_000, 4);
+        let twice = run_effectiveness(3, &[SchemeKind::Ssp], 3_000, 4);
+        assert_eq!(once[0].byte_by_byte.runs, twice[0].byte_by_byte.runs);
+        assert_eq!(once[0].exhaustive.runs, twice[0].exhaustive.runs);
+        assert_eq!(once[0].reuse.runs, twice[0].reuse.runs);
     }
 
     #[test]

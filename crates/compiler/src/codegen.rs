@@ -105,12 +105,8 @@ impl Compiler {
         module.validate()?;
 
         // Function ids are assigned by declaration order.
-        let ids: HashMap<String, FuncId> = module
-            .functions
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.name.clone(), FuncId(i)))
-            .collect();
+        let ids: HashMap<String, FuncId> =
+            module.functions.iter().enumerate().map(|(i, f)| (f.name.clone(), FuncId(i))).collect();
 
         let mut program = Program::new();
         let mut frames = Vec::with_capacity(module.functions.len());
@@ -365,7 +361,8 @@ mod tests {
         // functions carry realistic amounts of body code.
         let mut builder = ModuleBuilder::new();
         for i in 0..8 {
-            let mut f = FunctionBuilder::new(format!("work_{i}")).buffer("buf", 64).safe_copy("buf");
+            let mut f =
+                FunctionBuilder::new(format!("work_{i}")).buffer("buf", 64).safe_copy("buf");
             for _ in 0..200 {
                 f = f.compute(50);
             }
@@ -460,9 +457,6 @@ mod tests {
         let mut process = machine.spawn();
         process.set_input(payload);
         let exit = machine.run(&mut process).unwrap().exit;
-        assert!(
-            exit.is_normal(),
-            "plain P-SSP misses a local-variable-only overflow: {exit:?}"
-        );
+        assert!(exit.is_normal(), "plain P-SSP misses a local-variable-only overflow: {exit:?}");
     }
 }

@@ -128,10 +128,8 @@ mod tests {
 
     #[test]
     fn lv_layout_inserts_guard_slots_above_critical_buffers() {
-        let func = FunctionBuilder::new("f")
-            .critical_buffer("secret", 16)
-            .buffer("scratch", 16)
-            .build();
+        let func =
+            FunctionBuilder::new("f").critical_buffer("secret", 16).buffer("scratch", 16).build();
         let scheme = SchemeKind::PsspLv.scheme();
         let layout = layout_frame(&func, scheme.as_ref()).unwrap();
         assert_eq!(layout.info.critical_canary_slots.len(), 1);
@@ -174,11 +172,7 @@ mod tests {
 
     #[test]
     fn frame_size_covers_all_locals_and_canaries() {
-        let func = FunctionBuilder::new("f")
-            .buffer("a", 64)
-            .buffer("b", 32)
-            .scalar("c")
-            .build();
+        let func = FunctionBuilder::new("f").buffer("a", 64).buffer("b", 32).scalar("c").build();
         let layout = layout_frame(&func, SchemeKind::Pssp.scheme().as_ref()).unwrap();
         let lowest = *layout.local_offsets.iter().min().unwrap();
         assert!(i64::from(layout.info.frame_size) >= i64::from(-lowest));

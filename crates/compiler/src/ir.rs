@@ -264,9 +264,7 @@ impl FunctionBuilder {
     /// Declares a critical byte buffer local (P-SSP-LV protected).
     #[must_use]
     pub fn critical_buffer(mut self, name: impl Into<String>, size: u32) -> Self {
-        self.def
-            .locals
-            .push(Local { name: name.into(), kind: LocalKind::CriticalBuffer { size } });
+        self.def.locals.push(Local { name: name.into(), kind: LocalKind::CriticalBuffer { size } });
         self
     }
 

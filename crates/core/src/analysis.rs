@@ -46,7 +46,8 @@ pub struct AttackEffort {
 /// canary and the attacker is reduced to exhaustive guessing of the full
 /// word.
 pub fn attack_effort(props: &SchemeProperties) -> AttackEffort {
-    let accumulates = props.granularity == Granularity::Never && props.stack_canary_entropy_bits > 0;
+    let accumulates =
+        props.granularity == Granularity::Never && props.stack_canary_entropy_bits > 0;
     let bytes = props.stack_canary_entropy_bits / 8;
     AttackEffort {
         byte_by_byte_trials: if props.stack_canary_entropy_bits == 0 {
@@ -192,9 +193,8 @@ mod tests {
     fn theorem1_test_accepts_genuine_rerandomized_output() {
         let mut rng = SplitMix64::new(99);
         let c = 0x1234_5678_9ABC_DEF0u64;
-        let observed: Vec<u64> = (0..2000)
-            .map(|_| crate::rerandomize::re_randomize(c, &mut rng).c1)
-            .collect();
+        let observed: Vec<u64> =
+            (0..2000).map(|_| crate::rerandomize::re_randomize(c, &mut rng).c1).collect();
         let result = theorem1_independence_test(&observed);
         assert!(result.consistent_with_uniform, "chi2 = {}", result.chi_square);
         assert_eq!(result.samples, 2000);

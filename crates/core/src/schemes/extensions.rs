@@ -268,9 +268,7 @@ mod tests {
         assert_eq!(count_rdrand(&prologue), 1);
         // And binds it to the TLS canary with an XOR.
         assert!(prologue.iter().any(|i| matches!(i, Inst::XorRegReg { .. })));
-        assert!(prologue
-            .iter()
-            .any(|i| matches!(i, Inst::MovTlsToReg { offset: 0x28, .. })));
+        assert!(prologue.iter().any(|i| matches!(i, Inst::MovTlsToReg { offset: 0x28, .. })));
     }
 
     #[test]
@@ -285,9 +283,7 @@ mod tests {
         let prologue = PsspLvScheme.emit_prologue(&frame);
         // Only the last (computed) canary is stored; no rdrand needed.
         assert_eq!(count_rdrand(&prologue), 0);
-        assert!(prologue
-            .iter()
-            .any(|i| matches!(i, Inst::MovRegToFrame { offset: -8, .. })));
+        assert!(prologue.iter().any(|i| matches!(i, Inst::MovRegToFrame { offset: -8, .. })));
     }
 
     #[test]
@@ -340,8 +336,7 @@ mod tests {
     fn owf_epilogue_recomputes_and_compares_both_halves() {
         let frame = FrameInfo::protected("f", 0x30);
         let epilogue = PsspOwfScheme.emit_epilogue(&frame);
-        let compares =
-            epilogue.iter().filter(|i| matches!(i, Inst::CmpFrameReg { .. })).count();
+        let compares = epilogue.iter().filter(|i| matches!(i, Inst::CmpFrameReg { .. })).count();
         assert_eq!(compares, 2);
         assert!(epilogue.iter().any(|i| matches!(i, Inst::AesEncryptFrame { .. })));
     }

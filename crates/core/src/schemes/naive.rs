@@ -65,7 +65,7 @@ impl NaiveTlsSplitScheme {
     /// The runtime the variant would need: pick a fresh `C0` at startup and —
     /// fatally — a fresh one in every forked child.
     pub fn runtime_hooks(&self, seed: u64) -> Box<dyn RuntimeHooks> {
-        Box::new(NaiveRuntime { rng: Xoshiro256StarStar::new(seed ^ 0x0_BAD_1DEA) })
+        Box::new(NaiveRuntime { rng: Xoshiro256StarStar::new(seed ^ 0x0BAD_1DEA) })
     }
 }
 

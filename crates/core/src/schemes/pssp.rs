@@ -283,14 +283,8 @@ mod tests {
         let frame = FrameInfo::protected("f", 0x20);
         let size = |insts: &[Inst]| insts.iter().map(Inst::encoded_size).sum::<u64>();
         let ssp = crate::schemes::classic::SspScheme;
-        assert_eq!(
-            size(&PsspBin32Scheme.emit_prologue(&frame)),
-            size(&ssp.emit_prologue(&frame)),
-        );
-        assert_eq!(
-            size(&PsspBin32Scheme.emit_epilogue(&frame)),
-            size(&ssp.emit_epilogue(&frame)),
-        );
+        assert_eq!(size(&PsspBin32Scheme.emit_prologue(&frame)), size(&ssp.emit_prologue(&frame)),);
+        assert_eq!(size(&PsspBin32Scheme.emit_epilogue(&frame)), size(&ssp.emit_epilogue(&frame)),);
     }
 
     #[test]

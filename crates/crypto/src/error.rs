@@ -73,9 +73,6 @@ mod tests {
     #[test]
     fn variants_compare_equal_when_identical() {
         assert_eq!(CryptoError::NonceExhausted, CryptoError::NonceExhausted);
-        assert_ne!(
-            CryptoError::NonceExhausted,
-            CryptoError::EntropyUnavailable
-        );
+        assert_ne!(CryptoError::NonceExhausted, CryptoError::EntropyUnavailable);
     }
 }

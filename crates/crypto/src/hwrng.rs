@@ -43,7 +43,11 @@ pub struct HardwareRng {
 impl HardwareRng {
     /// Creates a hardware RNG model seeded deterministically.
     pub fn new(seed: u64) -> Self {
-        HardwareRng { stream: Xoshiro256StarStar::new(seed ^ 0x5DEE_CE66_D5A1_D5A1), fail_every: 0, calls: 0 }
+        HardwareRng {
+            stream: Xoshiro256StarStar::new(seed ^ 0x5DEE_CE66_D5A1_D5A1),
+            fail_every: 0,
+            calls: 0,
+        }
     }
 
     /// Enables transient-failure injection: every `n`-th call fails.
@@ -64,7 +68,7 @@ impl HardwareRng {
     /// enabled and this call was selected to fail.
     pub fn rdrand(&mut self) -> Result<(u64, u64), CryptoError> {
         self.calls += 1;
-        if self.fail_every != 0 && self.calls % self.fail_every == 0 {
+        if self.fail_every != 0 && self.calls.is_multiple_of(self.fail_every) {
             return Err(CryptoError::EntropyUnavailable);
         }
         Ok((self.stream.next_u64(), RDRAND_CYCLES))

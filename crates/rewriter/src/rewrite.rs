@@ -264,7 +264,8 @@ mod tests {
     #[test]
     fn dynamic_link_mode_has_zero_expansion_static_has_some() {
         let mut dynamic = ssp_program();
-        let report = Rewriter::new().with_link_mode(LinkMode::Dynamic).rewrite(&mut dynamic).unwrap();
+        let report =
+            Rewriter::new().with_link_mode(LinkMode::Dynamic).rewrite(&mut dynamic).unwrap();
         assert_eq!(report.expansion_percent(), 0.0);
 
         let mut statically = ssp_program();
@@ -326,12 +327,13 @@ mod tests {
         Rewriter::new().rewrite(&mut program).unwrap();
         let id = program.function_by_name("handle_request").unwrap();
         let insts = program.function(id).unwrap().insts();
-        assert!(insts
-            .iter()
-            .any(|i| matches!(i, Inst::MovTlsToReg { offset, .. } if *offset == TLS_SHADOW_C0_OFFSET)));
-        assert!(!insts
-            .iter()
-            .any(|i| matches!(i, Inst::XorTlsReg { .. })), "the old inline check must be gone");
+        assert!(insts.iter().any(
+            |i| matches!(i, Inst::MovTlsToReg { offset, .. } if *offset == TLS_SHADOW_C0_OFFSET)
+        ));
+        assert!(
+            !insts.iter().any(|i| matches!(i, Inst::XorTlsReg { .. })),
+            "the old inline check must be gone"
+        );
         assert!(insts.iter().any(|i| matches!(i, Inst::CallCheckCanary32)));
     }
 

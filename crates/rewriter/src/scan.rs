@@ -113,10 +113,7 @@ mod tests {
         let insts = ssp_function_insts();
         let sites = scan_function(&insts);
         let site = sites.prologues[0];
-        assert!(matches!(
-            insts[site.tls_load_index],
-            Inst::MovTlsToReg { offset: 0x28, .. }
-        ));
+        assert!(matches!(insts[site.tls_load_index], Inst::MovTlsToReg { offset: 0x28, .. }));
         assert!(matches!(insts[site.store_index], Inst::MovRegToFrame { offset: -8, .. }));
     }
 

@@ -280,10 +280,7 @@ impl Cpu {
             }
             Inst::MovImmToReg { dst, imm } => self.regs.write(*dst, *imm),
             Inst::MovImmToFrame { offset, imm } => {
-                process
-                    .memory
-                    .write_u32(frame_addr(rbp, *offset), *imm)
-                    .map_err(mem_fault)?;
+                process.memory.write_u32(frame_addr(rbp, *offset), *imm).map_err(mem_fault)?;
             }
             Inst::LeaFrameToReg { dst, offset } => {
                 self.regs.write(*dst, frame_addr(rbp, *offset));
@@ -386,16 +383,17 @@ impl Cpu {
                 self.regs.write(*dst, value);
             }
             Inst::Rdtsc => {
-                let (value, _) = process.tsc.rdtsc(self.cycles).map_err(|_| Fault::EntropyFailure)?;
+                let (value, _) =
+                    process.tsc.rdtsc(self.cycles).map_err(|_| Fault::EntropyFailure)?;
                 self.regs.write(Reg::Rax, value);
             }
             Inst::AesEncryptFrame { nonce } => {
                 let key_lo = self.regs.read(Reg::R12);
                 let key_hi = self.regs.read(Reg::R13);
-                let ret_addr =
-                    process.memory.read_u64(frame_addr(rbp, 8)).map_err(mem_fault)?;
+                let ret_addr = process.memory.read_u64(frame_addr(rbp, 8)).map_err(mem_fault)?;
                 let nonce_val = self.regs.read(*nonce);
-                let (lo, hi) = Aes128::from_words(key_lo, key_hi).encrypt_words(nonce_val, ret_addr);
+                let (lo, hi) =
+                    Aes128::from_words(key_lo, key_hi).encrypt_words(nonce_val, ret_addr);
                 self.regs.write(Reg::Rax, lo);
                 self.regs.write(Reg::Rdx, hi);
             }
@@ -408,10 +406,7 @@ impl Cpu {
             Inst::LinkCanaryPush { offset } => {
                 let addr = frame_addr(rbp, *offset);
                 process.dcr_list.push(addr);
-                process
-                    .tls
-                    .write_word(TLS_DCR_HEAD_OFFSET, addr)
-                    .map_err(tls_fault)?;
+                process.tls.write_word(TLS_DCR_HEAD_OFFSET, addr).map_err(tls_fault)?;
             }
             Inst::LinkCanaryPop { .. } => {
                 process.dcr_list.pop();
@@ -500,10 +495,8 @@ mod tests {
     #[test]
     fn returns_rax_on_normal_exit() {
         let mut p = fresh_process();
-        let (exit, _) = run_single(
-            vec![Inst::MovImmToReg { dst: Reg::Rax, imm: 42 }, Inst::Ret],
-            &mut p,
-        );
+        let (exit, _) =
+            run_single(vec![Inst::MovImmToReg { dst: Reg::Rax, imm: 42 }, Inst::Ret], &mut p);
         assert_eq!(exit, Exit::Normal(42));
     }
 
@@ -601,10 +594,7 @@ mod tests {
     fn call_and_return_across_functions() {
         let mut prog = Program::new();
         let callee = prog
-            .add_function(
-                "callee",
-                vec![Inst::MovImmToReg { dst: Reg::Rax, imm: 99 }, Inst::Ret],
-            )
+            .add_function("callee", vec![Inst::MovImmToReg { dst: Reg::Rax, imm: 99 }, Inst::Ret])
             .unwrap();
         let caller = prog
             .add_function(
@@ -641,7 +631,10 @@ mod tests {
         let cfg = ExecConfig { max_instructions: 10_000, ..ExecConfig::default() };
         let exit = cpu.run(&prog, &mut p, f, &cfg);
         assert!(
-            matches!(exit, Exit::Fault(Fault::InstructionLimit) | Exit::Fault(Fault::StackExhausted)),
+            matches!(
+                exit,
+                Exit::Fault(Fault::InstructionLimit) | Exit::Fault(Fault::StackExhausted)
+            ),
             "unbounded recursion must hit a limit: {exit:?}"
         );
     }

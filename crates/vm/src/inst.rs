@@ -464,14 +464,18 @@ impl fmt::Display for Inst {
             Inst::Nop => write!(f, "nop"),
             Inst::Rdrand(r) => write!(f, "rdrand %{r}"),
             Inst::Rdtsc => write!(f, "rdtsc ; shl $0x20,%rdx ; or %rdx,%rax"),
-            Inst::AesEncryptFrame { nonce } => write!(f, "callq <AES_ENCRYPT_128> ; nonce=%{nonce}"),
+            Inst::AesEncryptFrame { nonce } => {
+                write!(f, "callq <AES_ENCRYPT_128> ; nonce=%{nonce}")
+            }
             Inst::RecordCanaryAddress { offset } => {
                 write!(f, "dynaguard.record {offset:#x}(%rbp)")
             }
             Inst::PopCanaryAddress => write!(f, "dynaguard.pop"),
             Inst::LinkCanaryPush { offset } => write!(f, "dcr.link {offset:#x}(%rbp)"),
             Inst::LinkCanaryPop { offset } => write!(f, "dcr.unlink {offset:#x}(%rbp)"),
-            Inst::CopyInputToFrame { offset } => write!(f, "callq <strcpy> ; dst={offset:#x}(%rbp)"),
+            Inst::CopyInputToFrame { offset } => {
+                write!(f, "callq <strcpy> ; dst={offset:#x}(%rbp)")
+            }
             Inst::CopyInputToFrameBounded { offset, max_len } => {
                 write!(f, "callq <strncpy> ; dst={offset:#x}(%rbp) n={max_len}")
             }
@@ -543,9 +547,14 @@ mod tests {
 
     #[test]
     fn expensive_instructions_cost_more_than_moves() {
-        assert!(Inst::Rdrand(Reg::Rax).cycles() > 100 * Inst::MovRegReg { dst: Reg::Rax, src: Reg::Rbx }.cycles());
+        assert!(
+            Inst::Rdrand(Reg::Rax).cycles()
+                > 100 * Inst::MovRegReg { dst: Reg::Rax, src: Reg::Rbx }.cycles()
+        );
         assert!(Inst::AesEncryptFrame { nonce: Reg::Rax }.cycles() > 50);
-        assert!(Inst::Rdrand(Reg::Rax).cycles() > Inst::AesEncryptFrame { nonce: Reg::Rax }.cycles());
+        assert!(
+            Inst::Rdrand(Reg::Rax).cycles() > Inst::AesEncryptFrame { nonce: Reg::Rax }.cycles()
+        );
     }
 
     #[test]

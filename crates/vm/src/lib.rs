@@ -60,8 +60,8 @@ pub use process::{Pid, Process};
 pub use program::Program;
 pub use reg::{Reg, RegisterFile};
 pub use tls::{
-    Tls, TLS_CANARY_OFFSET, TLS_DCR_HEAD_OFFSET, TLS_DYNAGUARD_CAB_OFFSET,
-    TLS_SHADOW_C0_OFFSET, TLS_SHADOW_C1_OFFSET, TLS_SHADOW_PACKED32_OFFSET,
+    Tls, TLS_CANARY_OFFSET, TLS_DCR_HEAD_OFFSET, TLS_DYNAGUARD_CAB_OFFSET, TLS_SHADOW_C0_OFFSET,
+    TLS_SHADOW_C1_OFFSET, TLS_SHADOW_PACKED32_OFFSET,
 };
 
 #[cfg(test)]

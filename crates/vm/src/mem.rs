@@ -234,7 +234,6 @@ enum Segment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn stack_word_roundtrip() {
@@ -321,17 +320,29 @@ mod tests {
         assert_eq!(mem.read_bytes(0xdead, 0).unwrap(), Vec::<u8>::new());
     }
 
-    proptest! {
-        #[test]
-        fn u64_roundtrip_anywhere_in_stack(offset in 8u64..DEFAULT_STACK_SIZE - 8, value in any::<u64>()) {
+    // Pseudo-random property checks (crates.io is unavailable, so these are
+    // driven by the workspace's own deterministic PRNG instead of proptest).
+
+    #[test]
+    fn u64_roundtrip_anywhere_in_stack() {
+        use polycanary_crypto::prng::Prng;
+        let mut rng = polycanary_crypto::SplitMix64::new(0xA11C);
+        for _ in 0..256 {
+            let offset = 8 + rng.next_u64() % (DEFAULT_STACK_SIZE - 16);
+            let value = rng.next_u64();
             let mut mem = Memory::new();
             let addr = mem.stack_limit() + offset;
             mem.write_u64(addr, value).unwrap();
-            prop_assert_eq!(mem.read_u64(addr).unwrap(), value);
+            assert_eq!(mem.read_u64(addr).unwrap(), value, "offset {offset}");
         }
+    }
 
-        #[test]
-        fn byte_writes_equal_word_write(value in any::<u64>()) {
+    #[test]
+    fn byte_writes_equal_word_write() {
+        use polycanary_crypto::prng::Prng;
+        let mut rng = polycanary_crypto::SplitMix64::new(0xB22D);
+        for _ in 0..256 {
+            let value = rng.next_u64();
             let mut a = Memory::new();
             let mut b = Memory::new();
             let addr = STACK_TOP - 0x100;
@@ -339,7 +350,7 @@ mod tests {
             for (i, byte) in value.to_le_bytes().iter().enumerate() {
                 b.write_u8(addr + i as u64, *byte).unwrap();
             }
-            prop_assert_eq!(a.read_u64(addr).unwrap(), b.read_u64(addr).unwrap());
+            assert_eq!(a.read_u64(addr).unwrap(), b.read_u64(addr).unwrap());
         }
     }
 }

@@ -60,14 +60,7 @@ impl Reg {
     pub fn is_extended(self) -> bool {
         matches!(
             self,
-            Reg::R8
-                | Reg::R9
-                | Reg::R10
-                | Reg::R11
-                | Reg::R12
-                | Reg::R13
-                | Reg::R14
-                | Reg::R15
+            Reg::R8 | Reg::R9 | Reg::R10 | Reg::R11 | Reg::R12 | Reg::R13 | Reg::R14 | Reg::R15
         )
     }
 

@@ -30,7 +30,9 @@ impl Build {
         match self {
             Build::Native => "native".to_string(),
             Build::Compiler(kind) => format!("compiler {kind}"),
-            Build::BinaryRewriter(LinkMode::Dynamic) => "instrumentation (dynamic link)".to_string(),
+            Build::BinaryRewriter(LinkMode::Dynamic) => {
+                "instrumentation (dynamic link)".to_string()
+            }
             Build::BinaryRewriter(LinkMode::Static) => "instrumentation (static link)".to_string(),
         }
     }

@@ -61,7 +61,8 @@ impl DatabaseModel {
         let stages = ["parse_query", "plan_query", "execute_plan", "fetch_rows"];
         let per_stage = self.query_cycles() / stages.len() as u64;
         let mut builder = ModuleBuilder::new();
-        let mut entry = FunctionBuilder::new("run_query").buffer("sql_text", 256).safe_copy("sql_text");
+        let mut entry =
+            FunctionBuilder::new("run_query").buffer("sql_text", 256).safe_copy("sql_text");
         for stage in stages {
             entry = entry.call(stage);
         }
@@ -99,7 +100,12 @@ pub struct QueryReport {
 }
 
 /// Runs `queries` queries against the engine built as `build`.
-pub fn benchmark_database(model: DatabaseModel, build: Build, queries: u64, seed: u64) -> QueryReport {
+pub fn benchmark_database(
+    model: DatabaseModel,
+    build: Build,
+    queries: u64,
+    seed: u64,
+) -> QueryReport {
     let module = model.module();
     let mut machine: Machine = build_machine(&module, build, seed);
     let mut process = machine.spawn();
@@ -141,7 +147,11 @@ mod tests {
     #[test]
     fn mysql_queries_are_in_the_low_millisecond_range() {
         let report = benchmark_database(DatabaseModel::MySqlLike, Build::Native, 5, 1);
-        assert!(report.mean_query_ms > 1.0 && report.mean_query_ms < 10.0, "{}", report.mean_query_ms);
+        assert!(
+            report.mean_query_ms > 1.0 && report.mean_query_ms < 10.0,
+            "{}",
+            report.mean_query_ms
+        );
     }
 
     #[test]
@@ -159,7 +169,7 @@ mod tests {
             let pssp = benchmark_database(model, Build::Compiler(SchemeKind::Pssp), 5, 2);
             let overhead =
                 (pssp.mean_query_ms - native.mean_query_ms) / native.mean_query_ms * 100.0;
-            assert!(overhead >= 0.0 && overhead < 0.5, "{}: {overhead}%", model.name());
+            assert!((0.0..0.5).contains(&overhead), "{}: {overhead}%", model.name());
             assert_eq!(native.memory_mb, pssp.memory_mb);
         }
     }

@@ -218,8 +218,8 @@ mod tests {
         // most visible.
         let program = spec_suite()[0];
         let compiler = program.overhead_percent(Build::Compiler(SchemeKind::Pssp), 7);
-        let instrumented =
-            program.overhead_percent(Build::BinaryRewriter(polycanary_rewriter::LinkMode::Dynamic), 7);
+        let instrumented = program
+            .overhead_percent(Build::BinaryRewriter(polycanary_rewriter::LinkMode::Dynamic), 7);
         assert!(
             instrumented > compiler,
             "instrumentation ({instrumented:.3}%) should cost more than the compiler plugin ({compiler:.3}%)"

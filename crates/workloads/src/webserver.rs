@@ -136,7 +136,11 @@ impl Default for LoadConfig {
 
 /// Runs the load generator against `model` built as `build` and reports the
 /// mean response time.
-pub fn benchmark_server(model: ServerModel, build: Build, config: LoadConfig) -> ResponseTimeReport {
+pub fn benchmark_server(
+    model: ServerModel,
+    build: Build,
+    config: LoadConfig,
+) -> ResponseTimeReport {
     let module = model.module();
     let mut machine: Machine = build_machine(&module, build, config.seed);
     let mut parent = machine.spawn();

@@ -49,11 +49,9 @@ fn exhaustive_search_is_equally_hopeless_against_ssp_and_pssp() {
 
 #[test]
 fn only_owf_survives_canary_disclosure() {
-    for (scheme, expect_hijack) in [
-        (SchemeKind::Ssp, true),
-        (SchemeKind::Pssp, true),
-        (SchemeKind::PsspOwf, false),
-    ] {
+    for (scheme, expect_hijack) in
+        [(SchemeKind::Ssp, true), (SchemeKind::Pssp, true), (SchemeKind::PsspOwf, false)]
+    {
         let mut server = ForkingServer::new(VictimConfig::new(scheme, 31));
         let result = CanaryReuseAttack::default().run(&mut server);
         assert_eq!(result.success, expect_hijack, "{scheme}: {result:?}");

@@ -1,0 +1,69 @@
+//! Determinism guarantees of the attack-campaign engine, exercised through
+//! the `polycanary` facade:
+//!
+//! * the same victim seed and the same attack always produce the identical
+//!   request count and outcome,
+//! * a [`Campaign`] report does not depend on how many worker threads drain
+//!   the work queue,
+//! * seed derivation is stable, so written-down experiment configurations
+//!   stay replayable.
+
+use polycanary::attacks::{AttackKind, Campaign, ForkingServer, VictimConfig};
+use polycanary::attacks::{ByteByByteAttack, CampaignReport};
+use polycanary::core::SchemeKind;
+
+fn byte_campaign(scheme: SchemeKind, workers: usize) -> CampaignReport {
+    Campaign::new(AttackKind::ByteByByte { budget: 3_000 }, scheme)
+        .with_seed_range(0xFACADE, 8)
+        .with_workers(workers)
+        .run()
+}
+
+#[test]
+fn same_seed_same_attack_same_request_count_and_outcome() {
+    for scheme in [SchemeKind::Ssp, SchemeKind::Pssp] {
+        let run = |_: u32| {
+            let mut server = ForkingServer::new(VictimConfig::new(scheme, 0x5EED));
+            let geometry = server.geometry();
+            ByteByByteAttack::with_budget(3_000).run(&mut server, geometry, scheme)
+        };
+        let first = run(0);
+        let second = run(1);
+        assert_eq!(first.trials, second.trials, "{scheme}: request counts must match");
+        assert_eq!(first.success, second.success, "{scheme}: outcomes must match");
+        assert_eq!(first, second, "{scheme}: full results must be identical");
+    }
+}
+
+#[test]
+fn campaign_report_is_independent_of_worker_count() {
+    for scheme in [SchemeKind::Ssp, SchemeKind::Pssp] {
+        let serial = byte_campaign(scheme, 1);
+        let two = byte_campaign(scheme, 2);
+        let many = byte_campaign(scheme, 16);
+        assert_eq!(serial.runs, two.runs, "{scheme}: 1 vs 2 workers");
+        assert_eq!(serial.runs, many.runs, "{scheme}: 1 vs 16 workers");
+        assert_eq!(serial.success_rate(), many.success_rate());
+        assert_eq!(serial.trial_stats(), many.trial_stats());
+    }
+}
+
+#[test]
+fn campaign_runs_preserve_seed_order() {
+    let report = byte_campaign(SchemeKind::Ssp, 4);
+    let campaign = Campaign::new(AttackKind::ByteByByte { budget: 3_000 }, SchemeKind::Ssp)
+        .with_seed_range(0xFACADE, 8);
+    let expected: Vec<u64> = campaign.seeds().to_vec();
+    let observed: Vec<u64> = report.runs.iter().map(|r| r.seed).collect();
+    assert_eq!(observed, expected, "report order must follow seed order, not finish order");
+}
+
+#[test]
+fn explicit_seed_lists_are_honoured_verbatim() {
+    let seeds = [3u64, 1, 4, 1, 5]; // duplicates allowed
+    let report =
+        Campaign::new(AttackKind::Reuse, SchemeKind::Ssp).with_seeds(seeds).with_workers(3).run();
+    assert_eq!(report.runs.iter().map(|r| r.seed).collect::<Vec<_>>(), seeds.to_vec());
+    // Identical seeds must yield identical results.
+    assert_eq!(report.runs[1].result, report.runs[3].result);
+}

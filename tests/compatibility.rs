@@ -40,8 +40,11 @@ fn run_mixed(app_scheme: SchemeKind, libc_scheme: SchemeKind, forks: u32) -> boo
         .unwrap();
     // The runtime is always the P-SSP shared library when any P-SSP code is
     // present (that is how the binary would be launched via LD_PRELOAD).
-    let runtime_scheme =
-        if app_scheme == SchemeKind::Pssp || libc_scheme == SchemeKind::Pssp { SchemeKind::Pssp } else { app_scheme };
+    let runtime_scheme = if app_scheme == SchemeKind::Pssp || libc_scheme == SchemeKind::Pssp {
+        SchemeKind::Pssp
+    } else {
+        app_scheme
+    };
     let hooks = runtime_scheme.scheme().runtime_hooks(17);
     let mut machine = Machine::new(compiled.program, hooks, 17);
 

@@ -7,14 +7,44 @@
 //!   under a protected scheme, and never achieve an undetected hijack,
 //! * the binary rewriter never changes a function's encoded size,
 //! * Algorithm 1's outputs always recombine to the TLS canary.
-
-use proptest::prelude::*;
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! the cases are drawn from the workspace's own deterministic
+//! [`SplitMix64`] generator: every run explores the same pseudo-random
+//! sample of the input space, and a failure message always includes the
+//! case seed so it can be replayed.
 
 use polycanary::attacks::HIJACK_TARGET;
 use polycanary::compiler::{Compiler, FunctionBuilder, ModuleBuilder, ModuleDef};
 use polycanary::core::{re_randomize, SchemeKind, SplitCanary};
+use polycanary::crypto::prng::Prng;
 use polycanary::crypto::SplitMix64;
 use polycanary::rewriter::Rewriter;
+
+/// Number of pseudo-random cases per property (matches the `proptest`
+/// configuration this file originally used).
+const CASES: u64 = 24;
+
+/// Runs `property` over `CASES` independently seeded generators.  The
+/// property name is folded byte-by-byte into the seed so every property
+/// explores its own slice of the input space.
+fn check(name: &str, mut property: impl FnMut(&mut SplitMix64)) {
+    let name_salt = name
+        .bytes()
+        .fold(0u64, |acc, b| acc.rotate_left(8) ^ u64::from(b))
+        .wrapping_mul(0x100_0193);
+    for case in 0..CASES {
+        let case_seed = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case + 1).wrapping_add(name_salt);
+        let mut rng = SplitMix64::new(case_seed);
+        property(&mut rng);
+    }
+}
+
+/// Draws a value uniformly from `lo..hi`.
+fn gen_range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi);
+    lo + rng.next_u64() % (hi - lo)
+}
 
 /// Builds a single-function victim with the given buffer size.
 fn victim(buffer_size: u32) -> ModuleDef {
@@ -32,7 +62,12 @@ fn victim(buffer_size: u32) -> ModuleDef {
 
 /// Runs the victim under `scheme` with an attacker payload of `payload_len`
 /// bytes and returns the exit.
-fn run_victim(scheme: SchemeKind, buffer_size: u32, payload_len: usize, seed: u64) -> polycanary::vm::Exit {
+fn run_victim(
+    scheme: SchemeKind,
+    buffer_size: u32,
+    payload_len: usize,
+    seed: u64,
+) -> polycanary::vm::Exit {
     let compiled = Compiler::new(scheme).compile(&victim(buffer_size)).expect("compiles");
     let mut machine = compiled.into_machine(seed);
     machine.exec_config.hijack_target = Some(HIJACK_TARGET);
@@ -62,29 +97,31 @@ const PROTECTED: [SchemeKind; 8] = [
     SchemeKind::PsspOwf,
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn benign_inputs_never_trip_any_protector(
-        buffer_exp in 3u32..7,           // buffers of 8..64 bytes
-        fill in 0usize..64,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn benign_inputs_never_trip_any_protector() {
+    check("benign", |rng| {
+        let buffer_exp = gen_range(rng, 3, 7) as u32; // buffers of 8..64 bytes
+        let fill = gen_range(rng, 0, 64) as usize;
+        let seed = rng.next_u64();
         let buffer_size = 1u32 << buffer_exp;
         let payload_len = fill % (buffer_size as usize + 1);
         for scheme in PROTECTED {
             let exit = run_victim(scheme, buffer_size, payload_len, seed);
-            prop_assert!(exit.is_normal(), "{scheme}: false positive on {payload_len} bytes into a {buffer_size}-byte buffer: {exit:?}");
+            assert!(
+                exit.is_normal(),
+                "{scheme}: false positive on {payload_len} bytes into a \
+                 {buffer_size}-byte buffer (seed {seed}): {exit:?}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn overflows_into_the_canary_region_are_never_silently_survived(
-        buffer_exp in 3u32..7,
-        extra in 1u32..24,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn overflows_into_the_canary_region_are_never_silently_survived() {
+    check("overflow", |rng| {
+        let buffer_exp = gen_range(rng, 3, 7) as u32;
+        let extra = gen_range(rng, 1, 24) as u32;
+        let seed = rng.next_u64();
         let buffer_size = 1u32 << buffer_exp;
         for scheme in PROTECTED {
             // Overwrite the whole canary region of this scheme plus `extra`
@@ -93,41 +130,45 @@ proptest! {
             let region = scheme.scheme().canary_region_words() * 8;
             let payload_len = (buffer_size + region + extra.min(16)) as usize;
             let exit = run_victim(scheme, buffer_size, payload_len, seed);
-            prop_assert!(
+            assert!(
                 !exit.is_normal(),
-                "{scheme}: an overflow clobbering the canary region completed normally"
+                "{scheme}: an overflow clobbering the canary region completed \
+                 normally (seed {seed})"
             );
-            prop_assert!(
+            assert!(
                 !exit.is_hijack(),
-                "{scheme}: an overflow clobbering the canary region hijacked control flow undetected"
+                "{scheme}: an overflow clobbering the canary region hijacked \
+                 control flow undetected (seed {seed})"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn unprotected_native_build_is_hijackable_for_contrast(
-        buffer_exp in 3u32..7,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn unprotected_native_build_is_hijackable_for_contrast() {
+    check("native", |rng| {
+        let buffer_exp = gen_range(rng, 3, 7) as u32;
+        let seed = rng.next_u64();
         let buffer_size = 1u32 << buffer_exp;
         // Overwrite buffer + saved rbp + return address exactly.
         let payload_len = (buffer_size + 16) as usize;
         let exit = run_victim(SchemeKind::Native, buffer_size, payload_len, seed);
-        prop_assert!(exit.is_hijack(), "native build should be hijackable: {exit:?}");
-    }
+        assert!(exit.is_hijack(), "native build should be hijackable (seed {seed}): {exit:?}");
+    });
+}
 
-    #[test]
-    fn rewriter_preserves_every_function_size_for_random_programs(
-        buffers in proptest::collection::vec(8u32..128, 1..5),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn rewriter_preserves_every_function_size_for_random_programs() {
+    check("rewriter", |rng| {
+        let functions = gen_range(rng, 1, 5) as usize;
         let mut builder = ModuleBuilder::new();
-        for (i, size) in buffers.iter().enumerate() {
+        for i in 0..functions {
+            let size = gen_range(rng, 8, 128) as u32;
             builder = builder.function(
                 FunctionBuilder::new(format!("f{i}"))
-                    .buffer("buf", *size)
+                    .buffer("buf", size)
                     .vulnerable_copy("buf")
-                    .compute(u64::from(*size))
+                    .compute(u64::from(size))
                     .returns(0)
                     .build(),
             );
@@ -138,30 +179,30 @@ proptest! {
         let before: Vec<u64> = program.iter().map(|(_, f)| f.encoded_size()).collect();
         Rewriter::new().rewrite(&mut program).expect("rewritable");
         let after: Vec<u64> = program.iter().map(|(_, f)| f.encoded_size()).collect();
-        prop_assert_eq!(before, after);
-        let _ = seed;
-    }
+        assert_eq!(before, after);
+    });
+}
 
-    #[test]
-    fn rerandomization_always_recombines_to_the_tls_canary(
-        canary in any::<u64>(),
-        seed in any::<u64>(),
-        draws in 1usize..16,
-    ) {
-        let mut rng = SplitMix64::new(seed);
+#[test]
+fn rerandomization_always_recombines_to_the_tls_canary() {
+    check("rerandomize", |rng| {
+        let canary = rng.next_u64();
+        let seed = rng.next_u64();
+        let draws = gen_range(rng, 1, 16) as usize;
+        let mut draw_rng = SplitMix64::new(seed);
         let mut previous = Vec::new();
         for _ in 0..draws {
-            let split = re_randomize(canary, &mut rng);
-            prop_assert!(split.verifies(canary));
-            prop_assert!(SplitCanary::new(split.c0, split.c1).combined() == canary);
+            let split = re_randomize(canary, &mut draw_rng);
+            assert!(split.verifies(canary), "seed {seed}");
+            assert!(SplitCanary::new(split.c0, split.c1).combined() == canary, "seed {seed}");
             previous.push(split);
         }
         // Pairs across draws are pairwise distinct with overwhelming
         // probability; a collision would indicate broken re-randomization.
         for (i, a) in previous.iter().enumerate() {
             for b in previous.iter().skip(i + 1) {
-                prop_assert_ne!(a, b);
+                assert_ne!(a, b, "seed {seed}");
             }
         }
-    }
+    });
 }

@@ -11,11 +11,7 @@ use polycanary::core::SchemeKind;
 fn victim_module() -> ModuleDef {
     ModuleBuilder::new()
         .function(
-            FunctionBuilder::new("victim")
-                .buffer("buf", 32)
-                .safe_copy("buf")
-                .returns(0)
-                .build(),
+            FunctionBuilder::new("victim").buffer("buf", 32).safe_copy("buf").returns(0).build(),
         )
         .build()
         .unwrap()

@@ -9,8 +9,7 @@ use polycanary::vm::{Machine, NoHooks, Program};
 fn rerandomized_c1_observations_look_uniform() {
     let mut rng = SplitMix64::new(2026);
     let tls_canary = rng.next_u64();
-    let observed: Vec<u64> =
-        (0..3_000).map(|_| re_randomize(tls_canary, &mut rng).c1).collect();
+    let observed: Vec<u64> = (0..3_000).map(|_| re_randomize(tls_canary, &mut rng).c1).collect();
     let result = theorem1_independence_test(&observed);
     assert!(result.consistent_with_uniform, "chi-square {}", result.chi_square);
 }
@@ -29,9 +28,7 @@ fn shadow_canaries_collected_from_real_forks_are_independent() {
     // End-to-end version: fork 600 workers from one P-SSP parent and collect
     // the C1 half each child would expose to a byte-by-byte attacker.
     let mut program = Program::new();
-    let f = program
-        .add_function("noop", vec![polycanary::vm::Inst::Ret])
-        .unwrap();
+    let f = program.add_function("noop", vec![polycanary::vm::Inst::Ret]).unwrap();
     program.set_entry(f);
     let hooks = SchemeKind::Pssp.scheme().runtime_hooks(99);
     let mut machine = Machine::new(program, hooks, 99);

@@ -9,11 +9,14 @@
 //! (same binary, different loader seeds) and aggregates success rate and the
 //! request-count distribution (min / median / p95 / max, mean ± std-dev).
 //!
-//! Victims are completely independent, so campaigns fan out over a work
-//! queue drained by scoped worker threads ([`std::thread::scope`]).  Every
-//! run is deterministic in its seed, which makes the aggregate deterministic
-//! too: the report is identical whatever the worker-thread count (only
-//! `wall_time` varies).
+//! Victims are completely independent, so campaigns fan out over the shared
+//! parallel [`JobPool`] work queue (scoped worker threads draining an atomic
+//! cursor).  Every run is deterministic in its seed, which makes the
+//! aggregate deterministic too: the report is identical whatever the
+//! worker-thread count (only `wall_time` varies).  An adaptive [`StopRule`]
+//! can end a campaign early — in fixed-size, seed-ordered batches, so even
+//! early stopping is worker-count independent — once a Wilson-interval
+//! bound settles the [`Verdict`].
 //!
 //! # Example
 //!
@@ -30,14 +33,14 @@
 //! assert!(stats.min >= 64 && stats.max <= 8 * 256 + 1);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use polycanary_core::record::Record;
 use polycanary_core::scheme::SchemeKind;
 
 use crate::byte_by_byte::ByteByByteAttack;
 use crate::exhaustive::ExhaustiveAttack;
+use crate::pool::JobPool;
 use crate::reuse::CanaryReuseAttack;
 use crate::stats::{AttackResult, AttackSummary};
 use crate::victim::{Deployment, ForkingServer, VictimConfig};
@@ -83,6 +86,124 @@ impl AttackKind {
                 ExhaustiveAttack::with_budget(budget).run(&mut server, geometry, scheme)
             }
             AttackKind::Reuse => CanaryReuseAttack::default().run(&mut server),
+        }
+    }
+}
+
+/// Wilson score interval for a binomial proportion: the plausible range of
+/// the true success rate after observing `successes` out of `n` runs, at
+/// normal quantile `z` (1.96 ≈ 95 % confidence).  Returns `(0, 1)` for
+/// `n == 0`.
+pub fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let centre = p + z2 / (2.0 * nf);
+    let margin = z * ((p * (1.0 - p) + z2 / (4.0 * nf)) / nf).sqrt();
+    (((centre - margin) / denom).max(0.0), ((centre + margin) / denom).min(1.0))
+}
+
+/// Statistical verdict of a campaign: does the attack break the scheme?
+///
+/// The verdict is the Wilson interval of the success rate tested against
+/// 1/2 at 95 % confidence.  For populations whose outcome tends one way —
+/// every cell in the paper's tables is unanimous — adaptive
+/// (early-stopped) and exhaustive campaigns agree on it; for per-seed
+/// success rates near the threshold the early stop carries the usual
+/// repeated-testing error probability of the configured interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The success rate is provably above 1/2 — the scheme falls.
+    Breaks,
+    /// The success rate is provably below 1/2 — the scheme resists.
+    Resists,
+    /// Too few runs (or too mixed an outcome) to settle either way.
+    Inconclusive,
+}
+
+impl Verdict {
+    /// Display label ("breaks" / "resists" / "inconclusive").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Breaks => "breaks",
+            Verdict::Resists => "resists",
+            Verdict::Inconclusive => "inconclusive",
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Adaptive-budget policy: when may a campaign stop before exhausting its
+/// seed list?
+///
+/// Stop decisions are evaluated on the seed-ordered result prefix after
+/// every fixed-size batch, never on worker finish order, so a campaign's
+/// report stays deterministic in the seed list and independent of the
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Run every configured seed (the default).
+    Exhaustive,
+    /// After each batch of `batch` seeds, stop once the Wilson interval of
+    /// the success rate at quantile `z` lies entirely above or entirely
+    /// below `threshold` — i.e. once the [`Verdict`] is settled.
+    WilsonSettled {
+        /// Normal quantile of the interval (1.96 ≈ 95 % confidence).
+        z: f64,
+        /// Success-rate boundary the interval must clear.
+        threshold: f64,
+        /// Seeds attacked between stop checks (must be ≥ 1; the batch size
+        /// is part of the campaign configuration, so it does not depend on
+        /// the worker count).
+        batch: usize,
+    },
+}
+
+impl StopRule {
+    /// The standard adaptive rule: 95 % Wilson interval against a success
+    /// rate of 1/2, checked every 4 seeds — four unanimous runs settle the
+    /// verdict either way.
+    pub fn settled() -> Self {
+        StopRule::WilsonSettled { z: 1.96, threshold: 0.5, batch: 4 }
+    }
+
+    /// Display label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopRule::Exhaustive => "exhaustive",
+            StopRule::WilsonSettled { .. } => "wilson-settled",
+        }
+    }
+
+    /// Whether a campaign that observed `successes` out of `runs` completed
+    /// runs may stop early.
+    pub fn should_stop(&self, successes: u64, runs: u64) -> bool {
+        match *self {
+            StopRule::Exhaustive => false,
+            StopRule::WilsonSettled { z, threshold, .. } => {
+                if runs == 0 {
+                    return false;
+                }
+                let (low, high) = wilson_interval(successes, runs, z);
+                low > threshold || high < threshold
+            }
+        }
+    }
+
+    /// Seeds attacked between stop checks.
+    fn batch_size(&self, total_seeds: usize) -> usize {
+        match *self {
+            StopRule::Exhaustive => total_seeds.max(1),
+            StopRule::WilsonSettled { batch, .. } => batch.max(1),
         }
     }
 }
@@ -165,12 +286,21 @@ pub struct CampaignReport {
     pub attack: &'static str,
     /// Scheme protecting every victim.
     pub scheme: SchemeKind,
+    /// Deployment vehicle of every victim.
+    pub deployment: Deployment,
     /// Per-seed runs, in the order the seeds were configured (not the order
-    /// workers finished them), so reports are reproducible.
+    /// workers finished them), so reports are reproducible.  Under an
+    /// adaptive [`StopRule`] this may be a prefix of the configured seeds.
     pub runs: Vec<CampaignRun>,
+    /// Number of seeds the campaign was configured with; `runs.len()` falls
+    /// short of this exactly when a stop rule fired early.
+    pub configured_seeds: usize,
+    /// The adaptive-budget policy the campaign ran under; its Wilson
+    /// parameters also define [`CampaignReport::verdict`].
+    pub stop_rule: StopRule,
     /// Wall-clock time of the whole fan-out.
     pub wall_time: Duration,
-    /// Worker threads used.
+    /// Worker threads used per batch.
     pub workers: usize,
 }
 
@@ -195,13 +325,59 @@ impl CampaignReport {
     }
 
     /// Whether the attack succeeded against every victim seed.
+    ///
+    /// Vacuously **false** on an empty report: zero runs prove nothing, so
+    /// [`CampaignReport::all_succeeded`] and
+    /// [`CampaignReport::none_succeeded`] are both `false` there (rather
+    /// than the classical vacuous truth) — an empty campaign never
+    /// certifies a scheme as broken *or* as resistant.
     pub fn all_succeeded(&self) -> bool {
         !self.runs.is_empty() && self.successes() == self.campaigns()
     }
 
     /// Whether the attack failed against every victim seed.
+    ///
+    /// Vacuously **false** on an empty report, mirroring
+    /// [`CampaignReport::all_succeeded`] — see there.
     pub fn none_succeeded(&self) -> bool {
-        self.successes() == 0
+        !self.runs.is_empty() && self.successes() == 0
+    }
+
+    /// Statistical verdict of the campaign, designed so adaptive and
+    /// exhaustive campaigns over the same victim population agree whenever
+    /// the population's outcome is settled rather than mixed (see
+    /// [`Verdict`] for the caveat near the threshold).
+    ///
+    /// Uses the same Wilson parameters the campaign's [`StopRule`] stopped
+    /// on (so a campaign an adaptive rule declared settled never reads back
+    /// as inconclusive); exhaustive campaigns use the standard 95 %
+    /// interval against a success rate of 1/2.
+    pub fn verdict(&self) -> Verdict {
+        let (z, threshold) = match self.stop_rule {
+            StopRule::Exhaustive => (1.96, 0.5),
+            StopRule::WilsonSettled { z, threshold, .. } => (z, threshold),
+        };
+        let (low, high) = wilson_interval(self.successes(), self.campaigns(), z);
+        if self.runs.is_empty() {
+            Verdict::Inconclusive
+        } else if low > threshold {
+            Verdict::Breaks
+        } else if high < threshold {
+            Verdict::Resists
+        } else {
+            Verdict::Inconclusive
+        }
+    }
+
+    /// Total oracle requests sent over all runs — the attacker-effort cost
+    /// an adaptive stop rule reduces.
+    pub fn total_requests(&self) -> u64 {
+        self.runs.iter().map(|r| r.result.trials).sum()
+    }
+
+    /// Whether a stop rule ended the campaign before its full seed list.
+    pub fn stopped_early(&self) -> bool {
+        self.runs.len() < self.configured_seeds
     }
 
     /// Request-count distribution over **all** runs.
@@ -229,6 +405,46 @@ impl CampaignReport {
         }
         summary
     }
+
+    /// The self-describing record form of this report, including the
+    /// per-seed runs, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        let runs: Vec<Record> = self
+            .runs
+            .iter()
+            .map(|run| {
+                let mut rec = Record::new()
+                    .field("seed", run.seed)
+                    .field("success", run.result.success)
+                    .field("requests", run.result.trials);
+                if let Some(outcome) = run.result.final_outcome {
+                    rec.push("final_outcome", format!("{outcome:?}"));
+                }
+                rec
+            })
+            .collect();
+        let mut rec = Record::new()
+            .field("attack", self.attack)
+            .field("scheme", self.scheme.name())
+            .field("deployment", self.deployment.label())
+            .field("stop_rule", self.stop_rule.label())
+            .field("configured_seeds", self.configured_seeds)
+            .field("completed_seeds", self.runs.len())
+            .field("stopped_early", self.stopped_early())
+            .field("successes", self.successes())
+            .field("success_rate", self.success_rate())
+            .field("verdict", self.verdict().label())
+            .field("total_requests", self.total_requests())
+            .field("wall_ms", self.wall_time.as_secs_f64() * 1_000.0)
+            .field("workers", self.workers);
+        if let Some(stats) = self.success_trial_stats() {
+            rec.push("success_requests_mean", stats.mean);
+            rec.push("success_requests_median", stats.median);
+            rec.push("success_requests_p95", stats.p95);
+            rec.push("success_requests_max", stats.max);
+        }
+        rec.field("runs", runs)
+    }
 }
 
 /// Driver replaying one attack strategy against N independently seeded
@@ -241,6 +457,7 @@ pub struct Campaign {
     buffer_size: u32,
     seeds: Vec<u64>,
     workers: Option<usize>,
+    stop_rule: StopRule,
 }
 
 /// Default number of victim seeds per campaign — enough for the §VI-C
@@ -258,6 +475,7 @@ impl Campaign {
             buffer_size: 64,
             seeds: derive_seeds(0x00DD_5EED, DEFAULT_SEEDS),
             workers: None,
+            stop_rule: StopRule::Exhaustive,
         }
     }
 
@@ -298,64 +516,70 @@ impl Campaign {
         self
     }
 
+    /// Selects the adaptive-budget policy (default:
+    /// [`StopRule::Exhaustive`]).
+    #[must_use]
+    pub fn with_stop_rule(mut self, stop_rule: StopRule) -> Self {
+        self.stop_rule = stop_rule;
+        self
+    }
+
     /// The configured victim seeds.
     pub fn seeds(&self) -> &[u64] {
         &self.seeds
     }
 
-    fn victim_config(&self, seed: u64) -> VictimConfig {
+    /// The victim a given seed produces — exposed so experiments and tests
+    /// can assert properties (e.g. the frame geometry) of exactly the
+    /// binaries the campaign attacks.
+    pub fn victim_config(&self, seed: u64) -> VictimConfig {
         VictimConfig::new(self.scheme, seed)
             .with_deployment(self.deployment)
             .with_buffer_size(self.buffer_size)
     }
 
-    /// Runs the whole campaign, fanning the per-seed runs out over a work
-    /// queue drained by scoped worker threads.
+    /// Runs the campaign, fanning the per-seed runs out over a [`JobPool`]
+    /// work queue.
+    ///
+    /// Under an adaptive [`StopRule`] the seed list is processed in the
+    /// rule's fixed-size batches; after each batch the rule is evaluated on
+    /// the seed-ordered results so far and the remaining seeds are skipped
+    /// once the verdict is settled.  Because the batch size is part of the
+    /// configuration (not derived from the worker count), the report stays
+    /// deterministic in the seed list whatever the parallelism.
     pub fn run(&self) -> CampaignReport {
+        let batch = self.stop_rule.batch_size(self.seeds.len());
+        // Each batch runs through the pool on its own, so the effective
+        // parallelism (and the reported worker count) is additionally
+        // bounded by the batch size.
         let workers = self
             .workers
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
-            .min(self.seeds.len())
-            .max(1);
+            .map(JobPool::with_workers)
+            .unwrap_or_default()
+            .resolved_workers(self.seeds.len().min(batch));
+        let pool = JobPool::with_workers(workers);
         let started = Instant::now();
 
-        // Work queue: a shared cursor over the seed list.  Workers claim the
-        // next unclaimed index, attack that victim, and deposit the result
-        // under its index so the report order matches the seed order no
-        // matter which worker finishes first.
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<AttackResult>>> =
-            self.seeds.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&seed) = self.seeds.get(index) else { break };
-                    let result = self.attack.run_once(self.victim_config(seed));
-                    *slots[index].lock().expect("no worker panicked holding the slot") =
-                        Some(result);
-                });
+        let mut runs: Vec<CampaignRun> = Vec::with_capacity(self.seeds.len());
+        for chunk in self.seeds.chunks(batch) {
+            let results: Vec<AttackResult> =
+                pool.run(chunk, |_, &seed| self.attack.run_once(self.victim_config(seed)));
+            runs.extend(
+                chunk.iter().zip(results).map(|(&seed, result)| CampaignRun { seed, result }),
+            );
+            let successes = runs.iter().filter(|r| r.result.success).count() as u64;
+            if self.stop_rule.should_stop(successes, runs.len() as u64) {
+                break;
             }
-        });
-
-        let runs = self
-            .seeds
-            .iter()
-            .zip(slots)
-            .map(|(&seed, slot)| CampaignRun {
-                seed,
-                result: slot
-                    .into_inner()
-                    .expect("worker scope completed")
-                    .expect("every index was claimed exactly once"),
-            })
-            .collect();
+        }
 
         CampaignReport {
             attack: self.attack.name(),
             scheme: self.scheme,
+            deployment: self.deployment,
             runs,
+            configured_seeds: self.seeds.len(),
+            stop_rule: self.stop_rule,
             wall_time: started.elapsed(),
             workers,
         }
@@ -477,6 +701,139 @@ mod tests {
         assert_eq!(TrialStats::from_samples(&[]), None);
         let single = TrialStats::from_samples(&[7]).unwrap();
         assert_eq!((single.min, single.median, single.p95, single.max), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn wilson_interval_is_sane() {
+        // n = 0 is the whole unit interval.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        // Unanimous success over 4 runs clears 1/2 from above ...
+        let (low, _) = wilson_interval(4, 4, 1.96);
+        assert!(low > 0.5, "low = {low}");
+        // ... unanimous failure clears it from below ...
+        let (_, high) = wilson_interval(0, 4, 1.96);
+        assert!(high < 0.5, "high = {high}");
+        // ... and a 3/4 split settles nothing.
+        let (low, high) = wilson_interval(3, 4, 1.96);
+        assert!(low < 0.5 && high > 0.5, "({low}, {high})");
+        // The interval always brackets the point estimate.
+        let (low, high) = wilson_interval(7, 20, 1.96);
+        assert!(low < 0.35 && 0.35 < high);
+    }
+
+    #[test]
+    fn empty_report_is_vacuously_unsettled() {
+        let report =
+            Campaign::new(AttackKind::Reuse, SchemeKind::Ssp).with_seeds(std::iter::empty()).run();
+        assert_eq!(report.campaigns(), 0);
+        // Zero runs prove nothing: neither "all" nor "none" succeeded.
+        assert!(!report.all_succeeded());
+        assert!(!report.none_succeeded());
+        assert_eq!(report.verdict(), Verdict::Inconclusive);
+        assert_eq!(report.success_rate(), 0.0);
+        assert_eq!(report.total_requests(), 0);
+        assert!(!report.stopped_early());
+    }
+
+    #[test]
+    fn adaptive_campaign_agrees_with_exhaustive_and_spends_less() {
+        let base = Campaign::new(AttackKind::ByteByByte { budget: 3_000 }, SchemeKind::Ssp)
+            .with_seed_range(2, 12);
+        let exhaustive = base.clone().run();
+        let adaptive = base.with_stop_rule(StopRule::settled()).run();
+        assert_eq!(exhaustive.verdict(), Verdict::Breaks);
+        assert_eq!(adaptive.verdict(), exhaustive.verdict(), "verdicts must agree");
+        assert!(adaptive.stopped_early(), "unanimous SSP breaks settle early");
+        assert_eq!(adaptive.configured_seeds, 12);
+        assert!(
+            adaptive.total_requests() < exhaustive.total_requests(),
+            "{} vs {}",
+            adaptive.total_requests(),
+            exhaustive.total_requests()
+        );
+        // The adaptive runs are a prefix of the exhaustive ones.
+        assert_eq!(adaptive.runs[..], exhaustive.runs[..adaptive.runs.len()]);
+    }
+
+    #[test]
+    fn adaptive_stop_is_independent_of_worker_count() {
+        let base = Campaign::new(AttackKind::Exhaustive { budget: 100 }, SchemeKind::Pssp)
+            .with_seed_range(6, 10)
+            .with_stop_rule(StopRule::settled());
+        let serial = base.clone().with_workers(1).run();
+        let parallel = base.with_workers(8).run();
+        assert_eq!(serial.runs, parallel.runs);
+        assert_eq!(serial.verdict(), Verdict::Resists);
+        assert!(serial.stopped_early());
+    }
+
+    #[test]
+    fn mixed_outcomes_never_stop_the_settled_rule() {
+        let rule = StopRule::settled();
+        assert!(!rule.should_stop(0, 0));
+        assert!(!rule.should_stop(2, 4));
+        assert!(!rule.should_stop(3, 4));
+        assert!(rule.should_stop(4, 4));
+        assert!(rule.should_stop(0, 4));
+        assert_eq!(StopRule::Exhaustive.label(), "exhaustive");
+        assert_eq!(rule.label(), "wilson-settled");
+    }
+
+    #[test]
+    fn verdict_matches_the_rule_that_stopped_the_campaign() {
+        let dummy_runs = |successes: usize, failures: usize| -> Vec<CampaignRun> {
+            (0..successes + failures)
+                .map(|i| CampaignRun {
+                    seed: i as u64,
+                    result: AttackResult {
+                        strategy: "byte-by-byte",
+                        scheme: SchemeKind::Ssp,
+                        success: i < successes,
+                        trials: 10,
+                        recovered_canary: None,
+                        final_outcome: None,
+                    },
+                })
+                .collect()
+        };
+        // A lax custom rule (z = 1.0) stops on a 6/8 split that the
+        // standard 95 % test would call inconclusive; the report's verdict
+        // must agree with the rule that stopped it.
+        let lax = StopRule::WilsonSettled { z: 1.0, threshold: 0.5, batch: 8 };
+        assert!(lax.should_stop(6, 8));
+        let report = CampaignReport {
+            attack: "byte-by-byte",
+            scheme: SchemeKind::Ssp,
+            deployment: Deployment::Compiler,
+            runs: dummy_runs(6, 2),
+            configured_seeds: 16,
+            stop_rule: lax,
+            wall_time: Duration::ZERO,
+            workers: 1,
+        };
+        assert_eq!(report.verdict(), Verdict::Breaks);
+        let exhaustive = CampaignReport { stop_rule: StopRule::Exhaustive, ..report };
+        assert_eq!(exhaustive.verdict(), Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn report_record_includes_per_seed_runs() {
+        use polycanary_core::record::Value;
+
+        let report = Campaign::new(AttackKind::Exhaustive { budget: 20 }, SchemeKind::Pssp)
+            .with_seed_range(1, 4)
+            .run();
+        let rec = report.record();
+        assert_eq!(rec.get("scheme"), Some(&Value::Str("P-SSP".into())));
+        assert_eq!(rec.get("completed_seeds"), Some(&Value::UInt(4)));
+        assert_eq!(rec.get("verdict"), Some(&Value::Str("resists".into())));
+        let Some(Value::List(runs)) = rec.get("runs") else {
+            panic!("record must nest the per-seed runs: {rec:?}")
+        };
+        assert_eq!(runs.len(), 4);
+        let Value::Record(first) = &runs[0] else { panic!("runs are records") };
+        assert_eq!(first.get("seed"), Some(&Value::UInt(report.runs[0].seed)));
+        assert_eq!(first.get("requests"), Some(&Value::UInt(20)));
     }
 
     #[test]

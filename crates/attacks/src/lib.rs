@@ -14,9 +14,13 @@
 //!   equally strong.
 //! * [`reuse`] — the canary-disclosure-and-reuse attack that only
 //!   P-SSP-OWF survives.
+//! * [`pool`] — the reusable parallel job pool (scoped worker threads over
+//!   an atomic work queue) every experiment fans out on.
 //! * [`campaign`] — multi-seed campaigns fanning any of the above out over
-//!   worker threads and aggregating success-rate and request-count
-//!   statistics (the statistically robust version of §VI-C).
+//!   the pool and aggregating success-rate and request-count statistics
+//!   (the statistically robust version of §VI-C), with optional adaptive
+//!   stop rules that end a campaign once its verdict is statistically
+//!   settled.
 //!
 //! # Quick example
 //!
@@ -45,14 +49,19 @@ pub mod byte_by_byte;
 pub mod campaign;
 pub mod exhaustive;
 pub mod oracle;
+pub mod pool;
 pub mod reuse;
 pub mod stats;
 pub mod victim;
 
 pub use byte_by_byte::ByteByByteAttack;
-pub use campaign::{AttackKind, Campaign, CampaignReport, CampaignRun, TrialStats};
+pub use campaign::{
+    wilson_interval, AttackKind, Campaign, CampaignReport, CampaignRun, StopRule, TrialStats,
+    Verdict,
+};
 pub use exhaustive::ExhaustiveAttack;
 pub use oracle::{OverflowOracle, RequestOutcome};
+pub use pool::JobPool;
 pub use reuse::CanaryReuseAttack;
 pub use stats::{AttackResult, AttackSummary};
 pub use victim::{Deployment, ForkingServer, FrameGeometry, VictimConfig, HIJACK_TARGET};

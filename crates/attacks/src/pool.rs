@@ -1,0 +1,141 @@
+//! Reusable parallel work-queue executor.
+//!
+//! Every experiment in the evaluation fans the same shape of work out: a
+//! list of independent jobs (victim seeds, table cells, benchmark programs)
+//! whose results must be reported **in input order** no matter which worker
+//! finishes first.  [`JobPool`] is that executor, extracted from the
+//! campaign engine so Table I rows, Table III/IV cells and the Fig. 5
+//! program sweep can all share it: scoped worker threads drain an atomic
+//! cursor over the job list and deposit each result under its input index.
+//!
+//! Because jobs are pure functions of their input, the output vector is
+//! identical whatever the worker count — parallelism only changes wall
+//! time, never results.
+//!
+//! # Example
+//!
+//! ```
+//! use polycanary_attacks::pool::JobPool;
+//!
+//! let squares = JobPool::with_workers(3).run(&[1u64, 2, 3, 4], |_, &n| n * n);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width pool of scoped worker threads draining an indexed work
+/// queue.  Construction is cheap — threads are only spawned inside
+/// [`JobPool::run`] and join before it returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPool {
+    workers: usize,
+}
+
+impl Default for JobPool {
+    fn default() -> Self {
+        JobPool::new()
+    }
+}
+
+impl JobPool {
+    /// A pool with one worker per available CPU.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        JobPool { workers }
+    }
+
+    /// A pool with exactly `workers` threads (`0` is treated as `1`).
+    pub fn with_workers(workers: usize) -> Self {
+        JobPool { workers: workers.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker count actually used for `jobs` jobs: the configured width
+    /// capped at the job count (never below 1).
+    pub fn resolved_workers(&self, jobs: usize) -> usize {
+        self.workers.min(jobs).max(1)
+    }
+
+    /// Runs `job(index, &item)` for every item and returns the results in
+    /// input order.  `job` must be a pure function of its inputs for the
+    /// determinism guarantee to hold (the pool guarantees only ordering).
+    pub fn run<T, R, F>(&self, items: &[T], job: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.resolved_workers(items.len());
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if workers == 1 {
+            // Serial fast path: same results, no thread overhead.
+            return items.iter().enumerate().map(|(i, item)| job(i, item)).collect();
+        }
+
+        // Work queue: a shared cursor over the job list.  Workers claim the
+        // next unclaimed index, run that job, and deposit the result under
+        // its index so the output order matches the input order no matter
+        // which worker finishes first.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else { break };
+                    let result = job(index, item);
+                    *slots[index].lock().expect("no worker panicked holding the slot") =
+                        Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker scope completed")
+                    .expect("every index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|n| n * 3 + 1).collect();
+        for workers in [1, 2, 5, 64] {
+            let got = JobPool::with_workers(workers).run(&items, |_, &n| n * 3 + 1);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn job_receives_its_input_index() {
+        let items = ["a", "b", "c"];
+        let got = JobPool::with_workers(2).run(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input_and_zero_workers_are_well_defined() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(JobPool::with_workers(0).run(&empty, |_, &n| n).is_empty());
+        assert_eq!(JobPool::with_workers(0).workers(), 1);
+        assert_eq!(JobPool::with_workers(8).resolved_workers(3), 3);
+        assert_eq!(JobPool::with_workers(8).resolved_workers(0), 1);
+    }
+}

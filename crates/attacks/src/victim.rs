@@ -52,6 +52,16 @@ pub enum Deployment {
     BinaryRewriter,
 }
 
+impl Deployment {
+    /// Display label used in reports and serialized records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Deployment::Compiler => "compiler",
+            Deployment::BinaryRewriter => "binary-rewriter",
+        }
+    }
+}
+
 /// Configuration of a [`ForkingServer`] victim.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VictimConfig {
@@ -306,8 +316,6 @@ mod tests {
 
     #[test]
     fn smashing_requests_are_detected_by_protected_schemes() {
-        let geometry_probe = ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 1)).geometry();
-        let payload = vec![0x41u8; geometry_probe.full_overwrite_len()];
         for kind in SchemeKind::ALL {
             let mut server = ForkingServer::new(VictimConfig::new(kind, 11));
             let payload = vec![0x41u8; server.geometry().full_overwrite_len()];
@@ -318,7 +326,6 @@ mod tests {
                 assert_eq!(outcome, RequestOutcome::Detected, "{kind}");
             }
         }
-        assert!(payload.len() >= 80);
     }
 
     #[test]

@@ -4,18 +4,72 @@
 //! cargo run -p polycanary-bench --bin harness -- all
 //! cargo run -p polycanary-bench --bin harness -- table1 fig5 table5
 //! cargo run -p polycanary-bench --bin harness -- --seed 7 effectiveness
+//! cargo run -p polycanary-bench --bin harness -- --format json --out results all
 //! ```
+//!
+//! Experiments can be rendered as plain text (default) or exported as
+//! self-describing JSON/CSV records via `--format json|csv`; `--out DIR`
+//! writes one file per experiment instead of printing to stdout.
+
+use std::path::PathBuf;
 
 use polycanary_bench::experiments as exp;
+use polycanary_core::record::{records_to_csv, Record};
 use polycanary_core::scheme::SchemeKind;
 
 fn print_usage() {
     eprintln!(
-        "usage: harness [--seed N] [--quick] <experiment>...\n\
+        "usage: harness [--seed N] [--quick] [--adaptive] [--format text|json|csv] \
+         [--out DIR] <experiment>...\n\
          experiments: table1 fig5 table2 table3 table4 table5 effectiveness \
          theorem1 ablation all\n\
-         (`attack` is accepted as an alias for `effectiveness`)"
+         (`attack` is accepted as an alias for `effectiveness`)\n\
+         --quick     smaller workloads and campaigns (CI-sized)\n\
+         --adaptive  stop effectiveness campaigns once their verdict settles\n\
+         --format    text (default) or machine-readable json / csv records\n\
+         --out DIR   write one <experiment>.<ext> file per experiment to DIR"
     );
+}
+
+/// Invalid command line: report, print usage, exit 2.
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    print_usage();
+    std::process::exit(2);
+}
+
+/// Runtime failure after a valid invocation (e.g. an unwritable `--out`
+/// directory): report and exit 1, without the usage spam.
+fn runtime_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+impl Format {
+    fn extension(&self) -> &'static str {
+        match self {
+            Format::Text => "txt",
+            Format::Json => "json",
+            Format::Csv => "csv",
+        }
+    }
+}
+
+/// One catalogue entry: the single source of truth for an experiment's
+/// name, its human title and how to run it.  The argument validator, the
+/// selection logic and the output loop all derive from this list, so a
+/// name cannot exist in one place and be missing from another.
+struct Experiment {
+    name: &'static str,
+    title: &'static str,
+    run: Box<dyn Fn() -> (String, Vec<Record>)>,
 }
 
 fn main() {
@@ -27,24 +81,55 @@ fn main() {
 
     let mut seed = 0x00DD_5EEDu64;
     let mut quick = false;
-    let mut experiments = Vec::new();
+    let mut adaptive = false;
+    let mut format = Format::Text;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut selected = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--seed" => {
-                let value = iter.next().unwrap_or_default();
-                seed = value.parse().unwrap_or_else(|_| {
-                    eprintln!("invalid --seed value `{value}`");
-                    std::process::exit(2);
-                });
+                let Some(value) = iter.next() else {
+                    usage_error("--seed requires a value");
+                };
+                seed = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --seed value `{value}`")));
             }
             "--quick" => quick = true,
+            "--adaptive" => adaptive = true,
+            "--format" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--format requires a value (text, json or csv)");
+                };
+                format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => usage_error(&format!(
+                        "invalid --format value `{other}` (expected text, json or csv)"
+                    )),
+                };
+            }
+            "--out" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--out requires a directory path");
+                };
+                out_dir = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
             }
-            other => experiments.push(other.to_string()),
+            other if other.starts_with("--") => {
+                usage_error(&format!("unknown flag `{other}`"));
+            }
+            other => selected.push(other.to_string()),
         }
+    }
+
+    if selected.is_empty() {
+        usage_error("no experiment selected");
     }
 
     let spec_programs = if quick { 4 } else { 28 };
@@ -52,80 +137,179 @@ fn main() {
     let queries = if quick { 5 } else { 50 };
     let byte_budget = if quick { 4_000 } else { 20_000 };
     let campaign_seeds = if quick { 8 } else { exp::EFFECTIVENESS_SEEDS };
+    let stop_rule = if adaptive {
+        polycanary_attacks::campaign::StopRule::settled()
+    } else {
+        polycanary_attacks::campaign::StopRule::Exhaustive
+    };
 
-    let all = experiments.iter().any(|e| e == "all");
-    let wants = |name: &str| all || experiments.iter().any(|e| e == name);
+    let catalogue: Vec<Experiment> = vec![
+        Experiment {
+            name: "table1",
+            title: "Table I: comparison of brute-force-attack defence tools",
+            run: Box::new(move || {
+                let rows = exp::run_table1(seed, spec_programs.min(6));
+                (exp::format_table1(&rows), rows.iter().map(exp::Table1Row::record).collect())
+            }),
+        },
+        Experiment {
+            name: "fig5",
+            title: "Figure 5: runtime overhead of P-SSP vs native (SPEC-like suite)",
+            run: Box::new(move || {
+                let rows = exp::run_fig5(seed, spec_programs);
+                (exp::format_fig5(&rows), rows.iter().map(exp::Fig5Row::record).collect())
+            }),
+        },
+        Experiment {
+            name: "table2",
+            title: "Table II: code expansion rate",
+            run: Box::new(move || {
+                let result = exp::run_table2(spec_programs);
+                (exp::format_table2(&result), vec![result.record()])
+            }),
+        },
+        Experiment {
+            name: "table3",
+            title: "Table III: web-server mean response time",
+            run: Box::new(move || {
+                let rows = exp::run_table3(seed, requests);
+                (exp::format_table3(&rows), rows.iter().map(exp::Table3Row::record).collect())
+            }),
+        },
+        Experiment {
+            name: "table4",
+            title: "Table IV: database performance",
+            run: Box::new(move || {
+                let rows = exp::run_table4(seed, queries);
+                (exp::format_table4(&rows), rows.iter().map(exp::Table4Row::record).collect())
+            }),
+        },
+        Experiment {
+            name: "table5",
+            title: "Table V: prologue/epilogue CPU cycles",
+            run: Box::new(move || {
+                let entries = exp::run_table5(seed);
+                (
+                    exp::format_table5(&entries),
+                    entries.iter().map(exp::Table5Entry::record).collect(),
+                )
+            }),
+        },
+        Experiment {
+            name: "effectiveness",
+            title: "\u{a7}VI-C: attack effectiveness (byte-by-byte, exhaustive, reuse)",
+            run: Box::new(move || {
+                let schemes = [
+                    SchemeKind::Ssp,
+                    SchemeKind::Pssp,
+                    SchemeKind::PsspNt,
+                    SchemeKind::PsspOwf,
+                    SchemeKind::PsspBin32,
+                ];
+                let rows = exp::run_effectiveness_with(
+                    seed,
+                    &schemes,
+                    byte_budget,
+                    campaign_seeds,
+                    stop_rule,
+                );
+                (
+                    exp::format_effectiveness(&rows),
+                    rows.iter().map(exp::EffectivenessRow::record).collect(),
+                )
+            }),
+        },
+        Experiment {
+            name: "theorem1",
+            title: "Theorem 1: independence of exposed canaries",
+            run: Box::new(move || {
+                let result = exp::run_theorem1(seed, 5_000);
+                (exp::format_theorem1(&result), vec![result.record()])
+            }),
+        },
+        Experiment {
+            name: "ablation",
+            title: "Extensions ablation (P-SSP vs NT / LV / OWF)",
+            run: Box::new(move || {
+                let rows = exp::run_ablation(seed);
+                (exp::format_ablation(&rows), rows.iter().map(exp::AblationRow::record).collect())
+            }),
+        },
+    ];
 
-    if wants("table1") {
-        println!("== Table I: comparison of brute-force-attack defence tools ==");
-        println!("{}", exp::format_table1(&exp::run_table1(seed, spec_programs.min(6))));
+    // Reject unknown experiment names outright — a typo must not silently
+    // drop one table from an otherwise valid selection.
+    fn resolve(name: &str) -> &str {
+        if name == "attack" {
+            "effectiveness"
+        } else {
+            name
+        }
     }
-    if wants("fig5") {
-        println!("== Figure 5: runtime overhead of P-SSP vs native (SPEC-like suite) ==");
-        println!("{}", exp::format_fig5(&exp::run_fig5(seed, spec_programs)));
-    }
-    if wants("table2") {
-        println!("== Table II: code expansion rate ==");
-        println!("{}", exp::format_table2(&exp::run_table2(spec_programs)));
-    }
-    if wants("table3") {
-        println!("== Table III: web-server mean response time ==");
-        println!("{}", exp::format_table3(&exp::run_table3(seed, requests)));
-    }
-    if wants("table4") {
-        println!("== Table IV: database performance ==");
-        println!("{}", exp::format_table4(&exp::run_table4(seed, queries)));
-    }
-    if wants("table5") {
-        println!("== Table V: prologue/epilogue CPU cycles ==");
-        println!("{}", exp::format_table5(&exp::run_table5(seed)));
-    }
-    if wants("effectiveness") || wants("attack") {
-        println!("== §VI-C: attack effectiveness (byte-by-byte, exhaustive, reuse) ==");
-        let schemes = [
-            SchemeKind::Ssp,
-            SchemeKind::Pssp,
-            SchemeKind::PsspNt,
-            SchemeKind::PsspOwf,
-            SchemeKind::PsspBin32,
-        ];
-        println!(
-            "{}",
-            exp::format_effectiveness(&exp::run_effectiveness(
-                seed,
-                &schemes,
-                byte_budget,
-                campaign_seeds,
-            ))
-        );
-    }
-    if wants("theorem1") {
-        println!("== Theorem 1: independence of exposed canaries ==");
-        println!("{}", exp::format_theorem1(&exp::run_theorem1(seed, 5_000)));
-    }
-    if wants("ablation") {
-        println!("== Extensions ablation (P-SSP vs NT / LV / OWF) ==");
-        println!("{}", exp::format_ablation(&exp::run_ablation(seed)));
-    }
-
-    if !all
-        && ![
-            "table1",
-            "fig5",
-            "table2",
-            "table3",
-            "table4",
-            "table5",
-            "effectiveness",
-            "attack",
-            "theorem1",
-            "ablation",
-        ]
+    let unknown: Vec<&str> = selected
         .iter()
-        .any(|known| experiments.iter().any(|e| e == known))
-    {
-        eprintln!("no known experiment selected");
-        print_usage();
-        std::process::exit(2);
+        .map(|e| resolve(e))
+        .filter(|e| *e != "all" && !catalogue.iter().any(|x| x.name == *e))
+        .collect();
+    if !unknown.is_empty() {
+        usage_error(&format!("unknown experiment(s): {}", unknown.join(", ")));
     }
+
+    let all = selected.iter().any(|e| e == "all");
+    let wants = |name: &str| all || selected.iter().any(|e| resolve(e) == name);
+
+    // A CSV stream is only parseable with one header row, so CSV on stdout
+    // is restricted to a single experiment; multi-experiment CSV sweeps go
+    // through --out (one file per experiment).
+    let selection_count = catalogue.iter().filter(|e| wants(e.name)).count();
+    if format == Format::Csv && out_dir.is_none() && selection_count > 1 {
+        usage_error("--format csv with multiple experiments requires --out DIR");
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|err| {
+            runtime_error(&format!("cannot create --out directory {}: {err}", dir.display()));
+        });
+    }
+
+    // Run and emit each selected experiment; stdout JSON is collected into
+    // one parseable array over the whole selection.
+    let mut json_stream: Vec<String> = Vec::new();
+    for experiment in catalogue.iter().filter(|e| wants(e.name)) {
+        let (text, records) = (experiment.run)();
+        let body = match format {
+            Format::Text => format!("== {} ==\n{text}", experiment.title),
+            Format::Json => experiment_json(experiment.name, seed, quick, &records),
+            Format::Csv => records_to_csv(&records),
+        };
+        match &out_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{}.{}", experiment.name, format.extension()));
+                std::fs::write(&path, body.as_bytes()).unwrap_or_else(|err| {
+                    runtime_error(&format!("cannot write {}: {err}", path.display()));
+                });
+                eprintln!("wrote {}", path.display());
+            }
+            None => match format {
+                Format::Text => println!("{body}"),
+                Format::Json => json_stream.push(body),
+                // Single experiment (enforced above): bare, parseable CSV.
+                Format::Csv => print!("{body}"),
+            },
+        }
+    }
+    if out_dir.is_none() && format == Format::Json {
+        println!("[{}]", json_stream.join(","));
+    }
+}
+
+/// One experiment's export payload: a self-describing object so every file
+/// (or stream entry) records what produced it.
+fn experiment_json(name: &str, seed: u64, quick: bool, records: &[Record]) -> String {
+    Record::new()
+        .field("experiment", name)
+        .field("seed", seed)
+        .field("quick", quick)
+        .field("records", records.to_vec())
+        .to_json()
 }

@@ -7,20 +7,23 @@
 
 use std::fmt::Write as _;
 
-use polycanary_attacks::byte_by_byte::ByteByByteAttack;
-use polycanary_attacks::campaign::{AttackKind, Campaign, CampaignReport};
-use polycanary_attacks::victim::{ForkingServer, VictimConfig};
+use polycanary_attacks::campaign::{AttackKind, Campaign, CampaignReport, StopRule, Verdict};
+use polycanary_attacks::pool::JobPool;
+use polycanary_attacks::victim::Deployment;
 use polycanary_compiler::codegen::Compiler;
 use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder};
 use polycanary_core::analysis::{attack_effort, theorem1_independence_test, IndependenceTest};
+use polycanary_core::record::Record;
 use polycanary_core::rerandomize::re_randomize;
 use polycanary_core::scheme::SchemeKind;
 use polycanary_crypto::Xoshiro256StarStar;
 use polycanary_rewriter::LinkMode;
 use polycanary_workloads::build::{binary_size, Build};
-use polycanary_workloads::database::{benchmark_database, DatabaseModel};
+use polycanary_workloads::database::{benchmark_database, DatabaseModel, QueryReport};
 use polycanary_workloads::spec::{mean, spec_suite, SpecProgram};
-use polycanary_workloads::webserver::{benchmark_server, LoadConfig, ServerModel};
+use polycanary_workloads::webserver::{
+    benchmark_server, LoadConfig, ResponseTimeReport, ServerModel,
+};
 
 // ---------------------------------------------------------------------------
 // Table I — defence-tool comparison
@@ -31,9 +34,18 @@ use polycanary_workloads::webserver::{benchmark_server, LoadConfig, ServerModel}
 pub struct Table1Row {
     /// The defence tool.
     pub scheme: SchemeKind,
-    /// "BROP Prevention" column — measured by running the byte-by-byte
-    /// attack against a forking server protected by the scheme.
+    /// "BROP Prevention" column — the verdict of a multi-seed byte-by-byte
+    /// campaign against forking servers protected by the scheme (`true`
+    /// when the campaign proves the attack fails).
     pub brop_prevented: bool,
+    /// The full tri-state campaign verdict behind [`Self::brop_prevented`]
+    /// — an inconclusive campaign is not the same as a proven break.
+    pub brop_verdict: Verdict,
+    /// Successful hijacks in the BROP campaign.
+    pub brop_successes: u64,
+    /// Completed campaign runs (may stop short of [`TABLE1_BROP_SEEDS`]
+    /// once the adaptive stop rule settles the verdict).
+    pub brop_runs: u64,
     /// "Correctness" column — measured by forking a child after the parent
     /// pushed protected frames and letting the child return through them.
     pub correct: bool,
@@ -42,7 +54,26 @@ pub struct Table1Row {
     pub compiler_overhead_percent: f64,
 }
 
-/// Runs the Table I comparison.
+impl Table1Row {
+    /// The self-describing record form of this row, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("scheme", self.scheme.name())
+            .field("brop_prevented", self.brop_prevented)
+            .field("brop_verdict", self.brop_verdict.label())
+            .field("brop_successes", self.brop_successes)
+            .field("brop_runs", self.brop_runs)
+            .field("correct", self.correct)
+            .field("compiler_overhead_percent", self.compiler_overhead_percent)
+    }
+}
+
+/// Victim seeds configured per Table-I BROP campaign; the adaptive stop
+/// rule usually settles the verdict after the first batch.
+pub const TABLE1_BROP_SEEDS: usize = 8;
+
+/// Runs the Table I comparison.  Scheme rows are independent, so they fan
+/// out over the shared [`JobPool`]; the report only depends on `seed`.
 pub fn run_table1(seed: u64, spec_programs: usize) -> Vec<Table1Row> {
     let schemes = [
         SchemeKind::Ssp,
@@ -52,32 +83,37 @@ pub fn run_table1(seed: u64, spec_programs: usize) -> Vec<Table1Row> {
         SchemeKind::Pssp,
     ];
     let programs: Vec<SpecProgram> = spec_suite().into_iter().take(spec_programs.max(1)).collect();
-    schemes
-        .iter()
-        .map(|&scheme| {
-            // BROP prevention: does the byte-by-byte attack fail?
-            let mut server = ForkingServer::new(VictimConfig::new(scheme, seed));
-            let geometry = server.geometry();
-            let budget = if scheme == SchemeKind::Ssp { 4_000 } else { 3_000 };
-            let attack = ByteByByteAttack::with_budget(budget).run(&mut server, geometry, scheme);
+    let pool = JobPool::new();
+    // Split the CPUs between the row fan-out and each row's inner campaign
+    // so nesting does not oversubscribe (results are identical either way).
+    let campaign_workers = (pool.workers() / pool.resolved_workers(schemes.len())).max(1);
+    pool.run(&schemes, |_, &scheme| {
+        // BROP prevention: a multi-seed campaign verdict, not a single-seed
+        // anecdote.  The adaptive rule stops once the verdict is settled.
+        let budget = if scheme == SchemeKind::Ssp { 4_000 } else { 3_000 };
+        let brop = Campaign::new(AttackKind::ByteByByte { budget }, scheme)
+            .with_seed_range(seed, TABLE1_BROP_SEEDS)
+            .with_stop_rule(StopRule::settled())
+            .with_workers(campaign_workers)
+            .run();
 
-            // Correctness: child returning into an inherited protected frame.
-            let correct = fork_return_correctness(scheme, seed);
+        // Correctness: child returning into an inherited protected frame.
+        let correct = fork_return_correctness(scheme, seed);
 
-            // Overhead on the SPEC-like subset.
-            let overheads: Vec<f64> = programs
-                .iter()
-                .map(|p| p.overhead_percent(Build::Compiler(scheme), seed))
-                .collect();
+        // Overhead on the SPEC-like subset.
+        let overheads: Vec<f64> =
+            programs.iter().map(|p| p.overhead_percent(Build::Compiler(scheme), seed)).collect();
 
-            Table1Row {
-                scheme,
-                brop_prevented: !attack.success,
-                correct,
-                compiler_overhead_percent: mean(&overheads),
-            }
-        })
-        .collect()
+        Table1Row {
+            scheme,
+            brop_prevented: brop.verdict() == Verdict::Resists,
+            brop_verdict: brop.verdict(),
+            brop_successes: brop.successes(),
+            brop_runs: brop.campaigns(),
+            correct,
+            compiler_overhead_percent: mean(&overheads),
+        }
+    })
 }
 
 /// The fork-return correctness scenario of §II-B/§II-C: the parent forks
@@ -146,11 +182,21 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         "Defence", "BROP Prevention", "Correctness", "Compiler overhead (%)"
     );
     for row in rows {
+        let brop = format!(
+            "{} ({}/{})",
+            match row.brop_verdict {
+                Verdict::Resists => "Yes",
+                Verdict::Breaks => "No",
+                Verdict::Inconclusive => "?",
+            },
+            row.brop_successes,
+            row.brop_runs
+        );
         let _ = writeln!(
             out,
             "{:<12} {:>16} {:>12} {:>28.2}",
             row.scheme.name(),
-            if row.brop_prevented { "Yes" } else { "No" },
+            brop,
             if row.correct { "Yes" } else { "No" },
             row.compiler_overhead_percent
         );
@@ -173,19 +219,26 @@ pub struct Fig5Row {
     pub instrumentation_percent: f64,
 }
 
+impl Fig5Row {
+    /// The self-describing record form of this row, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("program", self.program)
+            .field("compiler_percent", self.compiler_percent)
+            .field("instrumentation_percent", self.instrumentation_percent)
+    }
+}
+
 /// Runs the Figure 5 sweep over the first `programs` SPEC-like programs
-/// (pass 28 for the full figure).
+/// (pass 28 for the full figure).  Each program is an independent parallel
+/// job on the shared [`JobPool`].
 pub fn run_fig5(seed: u64, programs: usize) -> Vec<Fig5Row> {
-    spec_suite()
-        .into_iter()
-        .take(programs.max(1))
-        .map(|p| Fig5Row {
-            program: p.name,
-            compiler_percent: p.overhead_percent(Build::Compiler(SchemeKind::Pssp), seed),
-            instrumentation_percent: p
-                .overhead_percent(Build::BinaryRewriter(LinkMode::Dynamic), seed),
-        })
-        .collect()
+    let suite: Vec<SpecProgram> = spec_suite().into_iter().take(programs.max(1)).collect();
+    JobPool::new().run(&suite, |_, p| Fig5Row {
+        program: p.name,
+        compiler_percent: p.overhead_percent(Build::Compiler(SchemeKind::Pssp), seed),
+        instrumentation_percent: p.overhead_percent(Build::BinaryRewriter(LinkMode::Dynamic), seed),
+    })
 }
 
 /// Renders Figure 5 (as a table of the two series).
@@ -218,6 +271,16 @@ pub struct Table2Result {
     pub instrumentation_dynamic_percent: f64,
     /// Instrumentation-based expansion for statically linked binaries.
     pub instrumentation_static_percent: f64,
+}
+
+impl Table2Result {
+    /// The self-describing record form of this result, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("compilation_percent", self.compilation_percent)
+            .field("instrumentation_dynamic_percent", self.instrumentation_dynamic_percent)
+            .field("instrumentation_static_percent", self.instrumentation_static_percent)
+    }
 }
 
 /// Runs the Table II measurement over the first `programs` SPEC-like
@@ -266,32 +329,20 @@ pub fn format_table2(result: &Table2Result) -> String {
 // Table III — web servers
 // ---------------------------------------------------------------------------
 
-/// One cell of Table III.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Table3Row {
-    /// Server name.
-    pub server: &'static str,
-    /// Build label.
-    pub build: String,
-    /// Mean time per request in simulated milliseconds.
-    pub mean_ms: f64,
-}
+/// One cell of Table III — the full workload report of one server × build
+/// load run (self-describing via [`ResponseTimeReport::record`]).
+pub type Table3Row = ResponseTimeReport;
 
-/// Runs the Table III measurement with `requests` per cell.
+/// Runs the Table III measurement with `requests` per cell.  Every
+/// server × build cell is an independent parallel job on the shared
+/// [`JobPool`]; the row order is the fixed cell order, not finish order.
 pub fn run_table3(seed: u64, requests: u64) -> Vec<Table3Row> {
     let config = LoadConfig { requests: requests.max(1), concurrency: 50, seed };
-    let mut rows = Vec::new();
-    for server in [ServerModel::ApacheLike, ServerModel::NginxLike] {
-        for build in Build::figure5_builds() {
-            let report = benchmark_server(server, build, config);
-            rows.push(Table3Row {
-                server: report.server,
-                build: report.build,
-                mean_ms: report.mean_ms,
-            });
-        }
-    }
-    rows
+    let cells: Vec<(ServerModel, Build)> = [ServerModel::ApacheLike, ServerModel::NginxLike]
+        .into_iter()
+        .flat_map(|server| Build::figure5_builds().into_iter().map(move |build| (server, build)))
+        .collect();
+    JobPool::new().run(&cells, |_, &(server, build)| benchmark_server(server, build, config))
 }
 
 /// Renders Table III.
@@ -308,34 +359,20 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
 // Table IV — databases
 // ---------------------------------------------------------------------------
 
-/// One cell of Table IV.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Table4Row {
-    /// Engine name.
-    pub engine: &'static str,
-    /// Build label.
-    pub build: String,
-    /// Mean query execution time in simulated milliseconds.
-    pub query_ms: f64,
-    /// Resident memory in megabytes.
-    pub memory_mb: f64,
-}
+/// One cell of Table IV — the full workload report of one engine × build
+/// benchmark (self-describing via [`QueryReport::record`]).
+pub type Table4Row = QueryReport;
 
-/// Runs the Table IV measurement with `queries` per cell.
+/// Runs the Table IV measurement with `queries` per cell.  Every
+/// engine × build cell is an independent parallel job on the shared
+/// [`JobPool`]; the row order is the fixed cell order, not finish order.
 pub fn run_table4(seed: u64, queries: u64) -> Vec<Table4Row> {
-    let mut rows = Vec::new();
-    for engine in [DatabaseModel::MySqlLike, DatabaseModel::SqliteLike] {
-        for build in Build::figure5_builds() {
-            let report = benchmark_database(engine, build, queries, seed);
-            rows.push(Table4Row {
-                engine: report.engine,
-                build: report.build,
-                query_ms: report.mean_query_ms,
-                memory_mb: report.memory_mb,
-            });
-        }
-    }
-    rows
+    let cells: Vec<(DatabaseModel, Build)> = [DatabaseModel::MySqlLike, DatabaseModel::SqliteLike]
+        .into_iter()
+        .flat_map(|engine| Build::figure5_builds().into_iter().map(move |build| (engine, build)))
+        .collect();
+    JobPool::new()
+        .run(&cells, |_, &(engine, build)| benchmark_database(engine, build, queries, seed))
 }
 
 /// Renders Table IV.
@@ -347,7 +384,7 @@ pub fn format_table4(rows: &[Table4Row]) -> String {
         let _ = writeln!(
             out,
             "{:<8} {:<36} {:>16.3} {:>14.2}",
-            row.engine, row.build, row.query_ms, row.memory_mb
+            row.engine, row.build, row.mean_query_ms, row.memory_mb
         );
     }
     out
@@ -365,6 +402,13 @@ pub struct Table5Entry {
     /// Extra cycles spent in the prologue + epilogue relative to the same
     /// function compiled without protection.
     pub cycles: u64,
+}
+
+impl Table5Entry {
+    /// The self-describing record form of this entry, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new().field("configuration", self.label.as_str()).field("cycles", self.cycles)
+    }
 }
 
 /// Runs the Table V micro-measurement.
@@ -442,10 +486,36 @@ pub struct EffectivenessRow {
     pub reuse: CampaignReport,
 }
 
+impl EffectivenessRow {
+    /// The self-describing record form of this row — one nested campaign
+    /// record (including per-seed runs) per attack strategy.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("scheme", self.scheme.name())
+            .field("deployment", self.byte_by_byte.deployment.label())
+            .field("byte_by_byte", self.byte_by_byte.record())
+            .field("exhaustive", self.exhaustive.record())
+            .field("reuse", self.reuse.record())
+    }
+}
+
 /// Default number of independent victim seeds per effectiveness campaign
 /// (the campaign engine's own default, re-exposed under the experiment's
 /// name so the two can never drift apart).
 pub const EFFECTIVENESS_SEEDS: usize = polycanary_attacks::campaign::DEFAULT_SEEDS;
+
+/// The deployment vehicle §VI-C measures for a scheme: `PsspBin32` *is* the
+/// binary-rewriter deployment (an SSP binary upgraded in place, keeping
+/// SSP's single 8-byte canary slot), so campaigning it under the compiler
+/// would measure the wrong binary; every other scheme ships via its
+/// compiler plugin.
+pub fn effectiveness_deployment(scheme: SchemeKind) -> Deployment {
+    if scheme == SchemeKind::PsspBin32 {
+        Deployment::BinaryRewriter
+    } else {
+        Deployment::Compiler
+    }
+}
 
 /// Runs the §VI-C effectiveness experiment for the given schemes.
 ///
@@ -459,12 +529,32 @@ pub fn run_effectiveness(
     byte_budget: u64,
     seeds: usize,
 ) -> Vec<EffectivenessRow> {
+    run_effectiveness_with(seed, schemes, byte_budget, seeds, StopRule::Exhaustive)
+}
+
+/// [`run_effectiveness`] with an explicit adaptive-budget policy: under a
+/// settling [`StopRule`] each campaign ends as soon as its verdict is
+/// statistically proven, spending strictly fewer requests on unanimous
+/// cells while reaching the same verdicts as the exhaustive run (every
+/// §VI-C cell is unanimous; see [`Verdict`] for the caveat on mixed-rate
+/// populations).
+pub fn run_effectiveness_with(
+    seed: u64,
+    schemes: &[SchemeKind],
+    byte_budget: u64,
+    seeds: usize,
+    stop_rule: StopRule,
+) -> Vec<EffectivenessRow> {
     let seeds = seeds.max(1);
     schemes
         .iter()
         .map(|&scheme| {
             let campaign = |attack: AttackKind, base: u64| {
-                Campaign::new(attack, scheme).with_seed_range(base, seeds).run()
+                Campaign::new(attack, scheme)
+                    .with_deployment(effectiveness_deployment(scheme))
+                    .with_seed_range(base, seeds)
+                    .with_stop_rule(stop_rule)
+                    .run()
             };
             EffectivenessRow {
                 scheme,
@@ -494,7 +584,7 @@ fn format_campaign_cell(report: &CampaignReport) -> String {
 /// Renders the effectiveness experiment.
 pub fn format_effectiveness(rows: &[EffectivenessRow]) -> String {
     let mut out = String::new();
-    let seeds = rows.first().map(|r| r.byte_by_byte.campaigns()).unwrap_or(0);
+    let seeds = rows.first().map(|r| r.byte_by_byte.configured_seeds as u64).unwrap_or(0);
     let _ = writeln!(out, "per-scheme campaigns over {seeds} independent victim seeds");
     let _ = writeln!(
         out,
@@ -560,6 +650,18 @@ pub struct AblationRow {
     pub needs_runtime_changes: bool,
     /// Whether the scheme resists the canary-reuse (disclosure) attack.
     pub exposure_resilient: bool,
+}
+
+impl AblationRow {
+    /// The self-describing record form of this row, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("scheme", self.scheme.name())
+            .field("per_call_cycles", self.per_call_cycles)
+            .field("analytical_byte_by_byte_trials", self.analytical_byte_by_byte_trials)
+            .field("needs_runtime_changes", self.needs_runtime_changes)
+            .field("exposure_resilient", self.exposure_resilient)
+    }
 }
 
 /// Runs the ablation over P-SSP and its three extensions.
@@ -660,27 +762,33 @@ mod tests {
                 assert!((cell.mean_ms - native) / native < 0.01, "{cell:?}");
             }
         }
+        assert!(format_table3(&rows).contains("Build"));
         let rows = run_table4(7, 3);
         assert_eq!(rows.len(), 6);
         for chunk in rows.chunks(3) {
-            let native = chunk[0].query_ms;
+            let native = chunk[0].mean_query_ms;
             for cell in chunk {
-                assert!((cell.query_ms - native) / native < 0.01, "{cell:?}");
+                assert!((cell.mean_query_ms - native) / native < 0.01, "{cell:?}");
                 assert_eq!(cell.memory_mb, chunk[0].memory_mb);
             }
         }
-        assert!(format_table3(
-            &rows
-                .iter()
-                .map(|r| Table3Row {
-                    server: r.engine,
-                    build: r.build.clone(),
-                    mean_ms: r.query_ms
-                })
-                .collect::<Vec<_>>()
-        )
-        .contains("Build"));
         assert!(format_table4(&rows).contains("Memory"));
+    }
+
+    #[test]
+    fn table3_and_table4_cells_are_worker_count_independent() {
+        // The pool deposits results under their cell index, so row order is
+        // the fixed cell order (servers × figure5 builds), reproducibly.
+        let once = run_table3(9, 10);
+        let twice = run_table3(9, 10);
+        assert_eq!(once, twice);
+        assert_eq!(once[0].server, "Apache2");
+        assert_eq!(once[3].server, "Nginx");
+        let once = run_table4(9, 2);
+        let twice = run_table4(9, 2);
+        assert_eq!(once, twice);
+        assert_eq!(once[0].engine, "MySQL");
+        assert_eq!(once[3].engine, "SQLite");
     }
 
     #[test]
@@ -726,6 +834,75 @@ mod tests {
         assert_eq!(once[0].byte_by_byte.runs, twice[0].byte_by_byte.runs);
         assert_eq!(once[0].exhaustive.runs, twice[0].exhaustive.runs);
         assert_eq!(once[0].reuse.runs, twice[0].reuse.runs);
+    }
+
+    #[test]
+    fn pssp_bin32_effectiveness_campaigns_attack_the_rewritten_binary() {
+        use polycanary_attacks::victim::{ForkingServer, VictimConfig};
+
+        // Regression: the §VI-C PsspBin32 row must attack the rewriter
+        // deployment, not a compiler-deployed victim.
+        assert_eq!(effectiveness_deployment(SchemeKind::PsspBin32), Deployment::BinaryRewriter);
+        assert_eq!(effectiveness_deployment(SchemeKind::Pssp), Deployment::Compiler);
+
+        let rows = run_effectiveness(3, &[SchemeKind::PsspBin32], 2_000, 4);
+        let row = &rows[0];
+        for report in [&row.byte_by_byte, &row.exhaustive, &row.reuse] {
+            assert_eq!(report.deployment, Deployment::BinaryRewriter, "{}", report.attack);
+        }
+        // The campaigned geometry is SSP's single-slot layout: the rewriter
+        // keeps one 8-byte canary region (vs 16 for compiler-built P-SSP).
+        for run in &row.byte_by_byte.runs {
+            let victim = VictimConfig::new(SchemeKind::PsspBin32, run.seed)
+                .with_deployment(Deployment::BinaryRewriter);
+            assert_eq!(ForkingServer::new(victim).geometry().canary_region_len, 8);
+        }
+        // And the rewritten binary still resists the byte-by-byte attack.
+        assert!(row.byte_by_byte.none_succeeded(), "{:?}", row.byte_by_byte);
+    }
+
+    #[test]
+    fn adaptive_effectiveness_agrees_with_exhaustive_on_verdicts() {
+        let schemes = [SchemeKind::Ssp, SchemeKind::Pssp];
+        let exhaustive = run_effectiveness(5, &schemes, 3_000, 8);
+        let adaptive = run_effectiveness_with(5, &schemes, 3_000, 8, StopRule::settled());
+        for (e, a) in exhaustive.iter().zip(&adaptive) {
+            assert_eq!(e.byte_by_byte.verdict(), a.byte_by_byte.verdict(), "{}", e.scheme);
+            assert_eq!(e.exhaustive.verdict(), a.exhaustive.verdict(), "{}", e.scheme);
+            assert_eq!(e.reuse.verdict(), a.reuse.verdict(), "{}", e.scheme);
+        }
+        // Unanimous cells settle after the first batch, so the adaptive run
+        // spends strictly fewer requests.
+        let requests = |rows: &[EffectivenessRow]| -> u64 {
+            rows.iter()
+                .map(|r| {
+                    r.byte_by_byte.total_requests()
+                        + r.exhaustive.total_requests()
+                        + r.reuse.total_requests()
+                })
+                .sum()
+        };
+        assert!(requests(&adaptive) < requests(&exhaustive));
+    }
+
+    #[test]
+    fn experiment_records_are_self_describing() {
+        use polycanary_core::record::{records_to_csv, records_to_json, Value};
+
+        let rows = run_fig5(5, 2);
+        let records: Vec<Record> = rows.iter().map(Fig5Row::record).collect();
+        let json = records_to_json(&records);
+        assert!(json.starts_with('[') && json.contains("\"program\""));
+        let csv = records_to_csv(&records);
+        assert!(csv.starts_with("program,compiler_percent,instrumentation_percent\n"));
+
+        let eff = run_effectiveness(3, &[SchemeKind::Ssp], 3_000, 4);
+        let rec = eff[0].record();
+        let Some(Value::Record(byte)) = rec.get("byte_by_byte") else {
+            panic!("nested campaign record: {rec:?}")
+        };
+        let Some(Value::List(runs)) = byte.get("runs") else { panic!("per-seed runs") };
+        assert_eq!(runs.len(), 4);
     }
 
     #[test]

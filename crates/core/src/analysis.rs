@@ -80,6 +80,17 @@ pub struct IndependenceTest {
     pub consistent_with_uniform: bool,
 }
 
+impl IndependenceTest {
+    /// The self-describing record form of this result, for JSON/CSV export.
+    pub fn record(&self) -> crate::record::Record {
+        crate::record::Record::new()
+            .field("samples", self.samples)
+            .field("chi_square", self.chi_square)
+            .field("degrees_of_freedom", self.degrees_of_freedom)
+            .field("consistent_with_uniform", self.consistent_with_uniform)
+    }
+}
+
 /// Tests whether a set of observed `C1` values (as leaked to the byte-by-byte
 /// attacker across forks) is consistent with the uniform distribution, which
 /// is the empirical counterpart of Theorem 1: `Pr(C) = Pr(C | C1¹ … C1ⁿ)`.

@@ -37,6 +37,7 @@
 pub mod analysis;
 pub mod canary;
 pub mod layout;
+pub mod record;
 pub mod rerandomize;
 pub mod scheme;
 pub mod schemes;
@@ -44,6 +45,7 @@ pub mod schemes;
 pub use analysis::{attack_effort, theorem1_independence_test, AttackEffort};
 pub use canary::SplitCanary;
 pub use layout::FrameInfo;
+pub use record::{records_to_csv, records_to_json, Record, Value};
 pub use rerandomize::{re_randomize, re_randomize_many, re_randomize_packed32};
 pub use scheme::{CanaryScheme, Granularity, SchemeKind, SchemeProperties};
 

@@ -1,0 +1,312 @@
+//! Self-describing experiment records with JSON and CSV rendering.
+//!
+//! Every table row and campaign report in the evaluation can describe
+//! itself as a [`Record`]: an ordered list of named [`Value`]s.  Records
+//! make the whole bench trajectory machine-readable — the harness emits
+//! them as JSON (nested values preserved) or CSV (one row per record,
+//! nested values JSON-encoded into their cell) without pulling any
+//! serialization dependency into the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use polycanary_core::record::{Record, Value};
+//!
+//! let rec = Record::new()
+//!     .field("scheme", "P-SSP")
+//!     .field("successes", 0u64)
+//!     .field("rate", 0.0f64);
+//! assert_eq!(rec.to_json(), r#"{"scheme":"P-SSP","successes":0,"rate":0}"#);
+//! assert_eq!(rec.get("scheme"), Some(&Value::Str("P-SSP".into())));
+//! ```
+
+/// One field value of a [`Record`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (seeds, counts, cycle totals).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; non-finite values serialize as JSON `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list of values (e.g. per-seed runs).
+    List(Vec<Value>),
+    /// A nested record.
+    Record(Record),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v.into())
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Record> for Value {
+    fn from(v: Record) -> Self {
+        Value::Record(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+impl From<Vec<Record>> for Value {
+    fn from(v: Vec<Record>) -> Self {
+        Value::List(v.into_iter().map(Value::Record).collect())
+    }
+}
+
+impl Value {
+    /// Renders this value as a JSON fragment.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(f) if f.is_finite() => out.push_str(&f.to_string()),
+            Value::Float(_) => out.push_str("null"),
+            Value::Str(s) => write_json_string(s, out),
+            Value::List(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Record(rec) => rec.write_json(out),
+        }
+    }
+
+    /// Renders this value as one CSV cell: scalars verbatim (strings quoted
+    /// when needed), nested lists/records as a JSON-encoded cell.
+    fn to_csv_cell(&self) -> String {
+        match self {
+            Value::Bool(_) | Value::UInt(_) | Value::Int(_) | Value::Float(_) => self.to_json(),
+            Value::Str(s) => csv_escape(s),
+            Value::List(_) | Value::Record(_) => csv_escape(&self.to_json()),
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// An ordered list of named values — the self-describing form of one table
+/// row, campaign report or benchmark result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.fields.push((name.into(), value.into()));
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// The first field named `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Renders this record as a JSON object (fields in insertion order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, out);
+            out.push(':');
+            value.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+/// Renders `records` as one JSON array.
+pub fn records_to_json(records: &[Record]) -> String {
+    let mut out = String::from("[");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        rec.write_json(&mut out);
+    }
+    out.push(']');
+    out
+}
+
+/// Renders `records` as CSV with a header row.
+///
+/// The column set is the union of all field names in first-appearance
+/// order; records missing a column leave the cell empty.  Nested lists and
+/// records are JSON-encoded into their cell, so no data is dropped.
+pub fn records_to_csv(records: &[Record]) -> String {
+    let mut columns: Vec<&str> = Vec::new();
+    for rec in records {
+        for (name, _) in rec.fields() {
+            if !columns.contains(&name.as_str()) {
+                columns.push(name);
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for rec in records {
+        let row: Vec<String> = columns
+            .iter()
+            .map(|c| rec.get(c).map(Value::to_csv_cell).unwrap_or_default())
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_strings_and_handles_non_finite_floats() {
+        let rec = Record::new()
+            .field("label", "a \"quoted\"\nline")
+            .field("nan", f64::NAN)
+            .field("neg", -3i64)
+            .field("ok", 1.5f64);
+        assert_eq!(rec.to_json(), r#"{"label":"a \"quoted\"\nline","nan":null,"neg":-3,"ok":1.5}"#);
+    }
+
+    #[test]
+    fn nested_records_and_lists_round_trip_into_json() {
+        let run = Record::new().field("seed", 7u64).field("success", true);
+        let rec = Record::new().field("runs", vec![run.clone(), run]);
+        assert_eq!(
+            rec.to_json(),
+            r#"{"runs":[{"seed":7,"success":true},{"seed":7,"success":true}]}"#
+        );
+    }
+
+    #[test]
+    fn csv_takes_the_union_of_columns_and_escapes_cells() {
+        let a = Record::new().field("name", "x,y").field("n", 1u64);
+        let b = Record::new().field("name", "plain").field("extra", 2.5f64);
+        let csv = records_to_csv(&[a, b]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("name,n,extra"));
+        assert_eq!(lines.next(), Some("\"x,y\",1,"));
+        assert_eq!(lines.next(), Some("plain,,2.5"));
+    }
+
+    #[test]
+    fn csv_json_encodes_nested_values_into_one_cell() {
+        let rec = Record::new()
+            .field("scheme", "SSP")
+            .field("runs", vec![Record::new().field("seed", 1u64)]);
+        let csv = records_to_csv(&[rec]);
+        assert!(csv.contains("\"[{\"\"seed\"\":1}]\""), "{csv}");
+    }
+
+    #[test]
+    fn records_to_json_builds_an_array() {
+        let recs = vec![Record::new().field("i", 0u64), Record::new().field("i", 1u64)];
+        assert_eq!(records_to_json(&recs), r#"[{"i":0},{"i":1}]"#);
+        assert_eq!(records_to_json(&[]), "[]");
+    }
+}

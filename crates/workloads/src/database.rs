@@ -11,6 +11,7 @@
 //! execute → fetch) as a MiniC call chain and reports the same two metrics.
 
 use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder, ModuleDef};
+use polycanary_core::record::Record;
 use polycanary_crypto::{Prng, SplitMix64};
 use polycanary_vm::machine::Machine;
 
@@ -99,6 +100,18 @@ pub struct QueryReport {
     pub memory_mb: f64,
 }
 
+impl QueryReport {
+    /// The self-describing record form of this report, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("engine", self.engine)
+            .field("build", self.build.as_str())
+            .field("queries", self.queries)
+            .field("mean_query_ms", self.mean_query_ms)
+            .field("memory_mb", self.memory_mb)
+    }
+}
+
 /// Runs `queries` queries against the engine built as `build`.
 pub fn benchmark_database(
     model: DatabaseModel,
@@ -180,6 +193,16 @@ mod tests {
         assert_eq!(report.engine, "SQLite");
         assert_eq!(report.queries, 2);
         assert!(report.memory_mb > 0.0);
+    }
+
+    #[test]
+    fn report_record_is_self_describing() {
+        use polycanary_core::record::Value;
+
+        let rec = benchmark_database(DatabaseModel::MySqlLike, Build::Native, 2, 3).record();
+        assert_eq!(rec.get("engine"), Some(&Value::Str("MySQL".into())));
+        assert_eq!(rec.get("queries"), Some(&Value::UInt(2)));
+        assert!(rec.to_json().contains("\"memory_mb\":"));
     }
 
     #[test]

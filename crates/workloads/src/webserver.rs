@@ -17,6 +17,7 @@
 //! of the request path; the reproduction preserves exactly that ratio.
 
 use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder, ModuleDef};
+use polycanary_core::record::Record;
 use polycanary_crypto::{Prng, SplitMix64};
 use polycanary_vm::machine::Machine;
 
@@ -112,6 +113,18 @@ pub struct ResponseTimeReport {
     pub mean_ms: f64,
     /// Mean cycles per request.
     pub mean_cycles: f64,
+}
+
+impl ResponseTimeReport {
+    /// The self-describing record form of this report, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("server", self.server)
+            .field("build", self.build.as_str())
+            .field("requests", self.requests)
+            .field("mean_ms", self.mean_ms)
+            .field("mean_cycles", self.mean_cycles)
+    }
 }
 
 /// Load-generator configuration (the `ab` analogue).
@@ -220,6 +233,17 @@ mod tests {
         let cfg = LoadConfig { requests: 20, ..LoadConfig::default() };
         let report = benchmark_server(ServerModel::ApacheLike, Build::Native, cfg);
         assert!(report.mean_ms > 10.0 && report.mean_ms < 100.0, "{}", report.mean_ms);
+    }
+
+    #[test]
+    fn report_record_is_self_describing() {
+        use polycanary_core::record::Value;
+
+        let cfg = LoadConfig { requests: 5, ..LoadConfig::default() };
+        let rec = benchmark_server(ServerModel::NginxLike, Build::Native, cfg).record();
+        assert_eq!(rec.get("server"), Some(&Value::Str("Nginx".into())));
+        assert_eq!(rec.get("requests"), Some(&Value::UInt(5)));
+        assert!(rec.to_json().contains("\"mean_ms\":"));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! its deployments.
 
 use polycanary::attacks::{
-    ByteByByteAttack, CanaryReuseAttack, Deployment, ExhaustiveAttack, ForkingServer, VictimConfig,
+    AttackKind, ByteByByteAttack, Campaign, CanaryReuseAttack, Deployment, ExhaustiveAttack,
+    ForkingServer, StopRule, Verdict, VictimConfig,
 };
 use polycanary::core::SchemeKind;
 
@@ -56,6 +57,28 @@ fn only_owf_survives_canary_disclosure() {
         let result = CanaryReuseAttack::default().run(&mut server);
         assert_eq!(result.success, expect_hijack, "{scheme}: {result:?}");
     }
+}
+
+#[test]
+fn adaptive_budget_reaches_the_32_seed_verdict_with_fewer_requests() {
+    // The fixed-budget §VI-C campaign: 32 seeds, SSP falls in all of them.
+    let base = Campaign::new(AttackKind::ByteByByte { budget: 4_000 }, SchemeKind::Ssp)
+        .with_seed_range(0x32C, 32);
+    let fixed = base.clone().run();
+    assert_eq!(fixed.successes(), 32, "SSP falls 32/32");
+    assert_eq!(fixed.verdict(), Verdict::Breaks);
+
+    // The adaptive run proves the same verdict from a settled prefix and
+    // therefore spends strictly fewer total requests.
+    let adaptive = base.with_stop_rule(StopRule::settled()).run();
+    assert_eq!(adaptive.verdict(), fixed.verdict());
+    assert!(adaptive.stopped_early());
+    assert!(
+        adaptive.total_requests() < fixed.total_requests(),
+        "{} vs {}",
+        adaptive.total_requests(),
+        fixed.total_requests()
+    );
 }
 
 #[test]

@@ -8,8 +8,8 @@
 //! * seed derivation is stable, so written-down experiment configurations
 //!   stay replayable.
 
-use polycanary::attacks::{AttackKind, Campaign, ForkingServer, VictimConfig};
-use polycanary::attacks::{ByteByByteAttack, CampaignReport};
+use polycanary::attacks::{AttackKind, Campaign, Deployment, ForkingServer, VictimConfig};
+use polycanary::attacks::{ByteByByteAttack, CampaignReport, StopRule, Verdict};
 use polycanary::core::SchemeKind;
 
 fn byte_campaign(scheme: SchemeKind, workers: usize) -> CampaignReport {
@@ -56,6 +56,46 @@ fn campaign_runs_preserve_seed_order() {
     let expected: Vec<u64> = campaign.seeds().to_vec();
     let observed: Vec<u64> = report.runs.iter().map(|r| r.seed).collect();
     assert_eq!(observed, expected, "report order must follow seed order, not finish order");
+}
+
+#[test]
+fn rewriter_deployment_campaigns_are_worker_count_independent() {
+    // The §VI-C PsspBin32 cell attacks rewriter-deployed victims; its
+    // campaign reports must obey the same determinism guarantees as the
+    // compiler-deployed ones.
+    let base = Campaign::new(AttackKind::ByteByByte { budget: 2_000 }, SchemeKind::PsspBin32)
+        .with_deployment(Deployment::BinaryRewriter)
+        .with_seed_range(0xB1432, 6);
+    let serial = base.clone().with_workers(1).run();
+    let parallel = base.clone().with_workers(4).run();
+    assert_eq!(serial.runs, parallel.runs);
+    assert_eq!(serial.deployment, Deployment::BinaryRewriter);
+    assert!(serial.none_succeeded(), "rewritten binaries resist byte-by-byte: {serial:?}");
+    // The campaigned victims keep SSP's single-slot layout (8-byte canary
+    // region) — the rewriter upgrades the binary in place.
+    for &seed in base.seeds() {
+        let geometry = ForkingServer::new(base.victim_config(seed)).geometry();
+        assert_eq!(geometry.canary_region_len, 8, "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn adaptive_stop_rules_preserve_determinism_and_verdicts() {
+    let base = Campaign::new(AttackKind::ByteByByte { budget: 3_000 }, SchemeKind::Ssp)
+        .with_seed_range(0xADA9, 12)
+        .with_stop_rule(StopRule::settled());
+    let serial = base.clone().with_workers(1).run();
+    let parallel = base.clone().with_workers(8).run();
+    assert_eq!(serial.runs, parallel.runs, "early stopping must not depend on worker count");
+    assert!(serial.stopped_early(), "unanimous SSP breaks settle before 12 seeds");
+
+    // The adaptive run reaches the exhaustive verdict with strictly fewer
+    // total requests, and its runs are a prefix of the exhaustive ones.
+    let exhaustive = base.clone().with_stop_rule(StopRule::Exhaustive).with_workers(2).run();
+    assert_eq!(serial.verdict(), Verdict::Breaks);
+    assert_eq!(serial.verdict(), exhaustive.verdict());
+    assert!(serial.total_requests() < exhaustive.total_requests());
+    assert_eq!(serial.runs[..], exhaustive.runs[..serial.runs.len()]);
 }
 
 #[test]

@@ -14,9 +14,12 @@
 //! cursor).  Every run is deterministic in its seed, which makes the
 //! aggregate deterministic too: the report is identical whatever the
 //! worker-thread count (only `wall_time` varies).  An adaptive [`StopRule`]
-//! can end a campaign early — in fixed-size, seed-ordered batches, so even
-//! early stopping is worker-count independent — once a Wilson-interval
-//! bound settles the [`Verdict`].
+//! can end a campaign early — evaluated on seed-ordered result prefixes
+//! inside fixed-size scheduling batches, so even early stopping is
+//! worker-count independent — once a Wilson-interval bound settles the
+//! [`Verdict`], or, under [`StopRule::Sprt`], once Wald's sequential
+//! probability-ratio test crosses a decision boundary (one run sooner on
+//! unanimous populations).
 //!
 //! # Example
 //!
@@ -145,35 +148,67 @@ impl std::fmt::Display for Verdict {
 /// Adaptive-budget policy: when may a campaign stop before exhausting its
 /// seed list?
 ///
-/// Stop decisions are evaluated on the seed-ordered result prefix after
-/// every fixed-size batch, never on worker finish order, so a campaign's
-/// report stays deterministic in the seed list and independent of the
-/// worker count.
+/// Stop decisions are evaluated on seed-ordered result prefixes (per
+/// completed run, inside fixed-size scheduling batches), never on worker
+/// finish order, so a campaign's report stays deterministic in the seed
+/// list and independent of the worker count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StopRule {
     /// Run every configured seed (the default).
     Exhaustive,
-    /// After each batch of `batch` seeds, stop once the Wilson interval of
-    /// the success rate at quantile `z` lies entirely above or entirely
-    /// below `threshold` — i.e. once the [`Verdict`] is settled.
+    /// Stop once the Wilson interval of the success rate at quantile `z`
+    /// lies entirely above or entirely below `threshold` — i.e. once the
+    /// [`Verdict`] is settled.
     WilsonSettled {
         /// Normal quantile of the interval (1.96 ≈ 95 % confidence).
         z: f64,
         /// Success-rate boundary the interval must clear.
         threshold: f64,
-        /// Seeds attacked between stop checks (must be ≥ 1; the batch size
+        /// Seeds attacked per scheduling batch (must be ≥ 1; the batch size
         /// is part of the campaign configuration, so it does not depend on
-        /// the worker count).
+        /// the worker count — it only bounds parallelism).
         batch: usize,
+    },
+    /// Wald's sequential probability-ratio test: stop as soon as the
+    /// accumulated log-likelihood ratio between "the attack breaks the
+    /// scheme" (success rate [`SPRT_P1`]) and "the scheme resists" (success
+    /// rate [`SPRT_P0`]) crosses the boundary for error rates `alpha` /
+    /// `beta`.  On unanimous populations this settles in
+    /// `ceil(ln((1-beta)/alpha) / ln(p1/p0))` runs — 3 at the default 5 %
+    /// error rates, versus 4 for [`StopRule::settled`] — which is why
+    /// mixed-rate sweeps prefer it: no run is spent past the point where
+    /// the evidence is already conclusive.
+    Sprt {
+        /// Type-I error bound: probability of declaring "breaks" when the
+        /// true success rate is [`SPRT_P0`].
+        alpha: f64,
+        /// Type-II error bound: probability of declaring "resists" when the
+        /// true success rate is [`SPRT_P1`].
+        beta: f64,
     },
 }
 
+/// SPRT null-hypothesis success rate ("the scheme resists"): the lower edge
+/// of the indifference region around the 1/2 verdict threshold.
+pub const SPRT_P0: f64 = 0.2;
+/// SPRT alternative-hypothesis success rate ("the attack breaks the
+/// scheme"): the upper edge of the indifference region.
+pub const SPRT_P1: f64 = 0.8;
+/// Scheduling batch size for [`StopRule::Sprt`] campaigns (parallelism
+/// bound; the test itself is evaluated after every completed run).
+const SPRT_BATCH: usize = 4;
+
 impl StopRule {
     /// The standard adaptive rule: 95 % Wilson interval against a success
-    /// rate of 1/2, checked every 4 seeds — four unanimous runs settle the
-    /// verdict either way.
+    /// rate of 1/2 — four unanimous runs settle the verdict either way.
     pub fn settled() -> Self {
         StopRule::WilsonSettled { z: 1.96, threshold: 0.5, batch: 4 }
+    }
+
+    /// The standard sequential rule: Wald SPRT at 5 % error rates both
+    /// ways — three unanimous runs settle the verdict either way.
+    pub fn sprt() -> Self {
+        StopRule::Sprt { alpha: 0.05, beta: 0.05 }
     }
 
     /// Display label for reports.
@@ -181,29 +216,57 @@ impl StopRule {
         match self {
             StopRule::Exhaustive => "exhaustive",
             StopRule::WilsonSettled { .. } => "wilson-settled",
+            StopRule::Sprt { .. } => "sprt",
+        }
+    }
+
+    /// The early verdict this rule reaches after observing `successes` out
+    /// of `runs` completed runs, if the evidence suffices — `None` keeps
+    /// the campaign running.
+    pub fn decision(&self, successes: u64, runs: u64) -> Option<Verdict> {
+        if runs == 0 {
+            return None;
+        }
+        match *self {
+            StopRule::Exhaustive => None,
+            StopRule::WilsonSettled { z, threshold, .. } => {
+                let (low, high) = wilson_interval(successes, runs, z);
+                if low > threshold {
+                    Some(Verdict::Breaks)
+                } else if high < threshold {
+                    Some(Verdict::Resists)
+                } else {
+                    None
+                }
+            }
+            StopRule::Sprt { alpha, beta } => {
+                let s = successes as f64;
+                let f = (runs - successes) as f64;
+                let llr =
+                    s * (SPRT_P1 / SPRT_P0).ln() + f * ((1.0 - SPRT_P1) / (1.0 - SPRT_P0)).ln();
+                if llr >= ((1.0 - beta) / alpha).ln() {
+                    Some(Verdict::Breaks)
+                } else if llr <= (beta / (1.0 - alpha)).ln() {
+                    Some(Verdict::Resists)
+                } else {
+                    None
+                }
+            }
         }
     }
 
     /// Whether a campaign that observed `successes` out of `runs` completed
     /// runs may stop early.
     pub fn should_stop(&self, successes: u64, runs: u64) -> bool {
-        match *self {
-            StopRule::Exhaustive => false,
-            StopRule::WilsonSettled { z, threshold, .. } => {
-                if runs == 0 {
-                    return false;
-                }
-                let (low, high) = wilson_interval(successes, runs, z);
-                low > threshold || high < threshold
-            }
-        }
+        self.decision(successes, runs).is_some()
     }
 
-    /// Seeds attacked between stop checks.
+    /// Seeds attacked per scheduling batch.
     fn batch_size(&self, total_seeds: usize) -> usize {
         match *self {
             StopRule::Exhaustive => total_seeds.max(1),
             StopRule::WilsonSettled { batch, .. } => batch.max(1),
+            StopRule::Sprt { .. } => SPRT_BATCH,
         }
     }
 }
@@ -348,19 +411,27 @@ impl CampaignReport {
     /// the population's outcome is settled rather than mixed (see
     /// [`Verdict`] for the caveat near the threshold).
     ///
-    /// Uses the same Wilson parameters the campaign's [`StopRule`] stopped
-    /// on (so a campaign an adaptive rule declared settled never reads back
-    /// as inconclusive); exhaustive campaigns use the standard 95 %
-    /// interval against a success rate of 1/2.
+    /// Judges with the same test the campaign's [`StopRule`] stopped on (so
+    /// a campaign an adaptive rule declared settled never reads back as
+    /// inconclusive); exhaustive campaigns — and adaptive ones that ran out
+    /// of seeds undecided — use the standard 95 % Wilson interval against a
+    /// success rate of 1/2.
     pub fn verdict(&self) -> Verdict {
+        if self.runs.is_empty() {
+            return Verdict::Inconclusive;
+        }
+        if let Some(verdict) = self.stop_rule.decision(self.successes(), self.campaigns()) {
+            return verdict;
+        }
+        // Undecided after every seed: judge with the configured Wilson
+        // parameters where the rule has them, the standard 95 % test
+        // against 1/2 otherwise (exhaustive and SPRT campaigns).
         let (z, threshold) = match self.stop_rule {
-            StopRule::Exhaustive => (1.96, 0.5),
             StopRule::WilsonSettled { z, threshold, .. } => (z, threshold),
+            StopRule::Exhaustive | StopRule::Sprt { .. } => (1.96, 0.5),
         };
         let (low, high) = wilson_interval(self.successes(), self.campaigns(), z);
-        if self.runs.is_empty() {
-            Verdict::Inconclusive
-        } else if low > threshold {
+        if low > threshold {
             Verdict::Breaks
         } else if high < threshold {
             Verdict::Resists
@@ -542,11 +613,14 @@ impl Campaign {
     /// work queue.
     ///
     /// Under an adaptive [`StopRule`] the seed list is processed in the
-    /// rule's fixed-size batches; after each batch the rule is evaluated on
-    /// the seed-ordered results so far and the remaining seeds are skipped
-    /// once the verdict is settled.  Because the batch size is part of the
-    /// configuration (not derived from the worker count), the report stays
-    /// deterministic in the seed list whatever the parallelism.
+    /// rule's fixed-size scheduling batches; within each batch the rule is
+    /// evaluated on every seed-ordered result prefix and the report is
+    /// truncated at the earliest prefix that settles the verdict (results a
+    /// parallel batch computed past that point are discarded, exactly as if
+    /// the campaign had run serially and stopped there).  Because both the
+    /// batch size and the prefix walk are part of the configuration (not
+    /// derived from the worker count), the report stays deterministic in
+    /// the seed list whatever the parallelism.
     pub fn run(&self) -> CampaignReport {
         let batch = self.stop_rule.batch_size(self.seeds.len());
         // Each batch runs through the pool on its own, so the effective
@@ -561,15 +635,16 @@ impl Campaign {
         let started = Instant::now();
 
         let mut runs: Vec<CampaignRun> = Vec::with_capacity(self.seeds.len());
-        for chunk in self.seeds.chunks(batch) {
+        let mut successes = 0u64;
+        'batches: for chunk in self.seeds.chunks(batch) {
             let results: Vec<AttackResult> =
                 pool.run(chunk, |_, &seed| self.attack.run_once(self.victim_config(seed)));
-            runs.extend(
-                chunk.iter().zip(results).map(|(&seed, result)| CampaignRun { seed, result }),
-            );
-            let successes = runs.iter().filter(|r| r.result.success).count() as u64;
-            if self.stop_rule.should_stop(successes, runs.len() as u64) {
-                break;
+            for (&seed, result) in chunk.iter().zip(results) {
+                successes += u64::from(result.success);
+                runs.push(CampaignRun { seed, result });
+                if self.stop_rule.should_stop(successes, runs.len() as u64) {
+                    break 'batches;
+                }
             }
         }
 
@@ -777,6 +852,70 @@ mod tests {
         assert!(rule.should_stop(0, 4));
         assert_eq!(StopRule::Exhaustive.label(), "exhaustive");
         assert_eq!(rule.label(), "wilson-settled");
+        assert_eq!(StopRule::sprt().label(), "sprt");
+    }
+
+    #[test]
+    fn sprt_decides_one_run_before_wilson_on_unanimous_evidence() {
+        let sprt = StopRule::sprt();
+        let wilson = StopRule::settled();
+        // Unanimous successes: SPRT needs 3 runs, Wilson needs 4.
+        assert_eq!(sprt.decision(2, 2), None);
+        assert_eq!(sprt.decision(3, 3), Some(Verdict::Breaks));
+        assert_eq!(wilson.decision(3, 3), None);
+        assert_eq!(wilson.decision(4, 4), Some(Verdict::Breaks));
+        // Symmetrically for unanimous failures.
+        assert_eq!(sprt.decision(0, 2), None);
+        assert_eq!(sprt.decision(0, 3), Some(Verdict::Resists));
+        assert_eq!(wilson.decision(0, 4), Some(Verdict::Resists));
+        // Mixed evidence keeps the test running.
+        assert_eq!(sprt.decision(2, 4), None);
+        assert_eq!(sprt.decision(3, 5), None);
+        // But a strong majority eventually crosses the boundary.
+        assert_eq!(sprt.decision(9, 10), Some(Verdict::Breaks));
+        assert_eq!(sprt.decision(1, 10), Some(Verdict::Resists));
+        assert!(!sprt.should_stop(0, 0));
+    }
+
+    #[test]
+    fn sprt_campaign_agrees_with_exhaustive_and_spends_less_than_wilson() {
+        for (scheme, expected) in
+            [(SchemeKind::Ssp, Verdict::Breaks), (SchemeKind::Pssp, Verdict::Resists)]
+        {
+            let base = Campaign::new(AttackKind::ByteByByte { budget: 3_000 }, scheme)
+                .with_seed_range(4, 10);
+            let exhaustive = base.clone().run();
+            let wilson = base.clone().with_stop_rule(StopRule::settled()).run();
+            let sprt = base.with_stop_rule(StopRule::sprt()).run();
+            assert_eq!(exhaustive.verdict(), expected, "{scheme}");
+            assert_eq!(sprt.verdict(), expected, "{scheme}");
+            assert_eq!(wilson.verdict(), expected, "{scheme}");
+            // Unanimous population: SPRT settles after 3 runs, Wilson after 4.
+            assert_eq!(sprt.campaigns(), 3, "{scheme}");
+            assert_eq!(wilson.campaigns(), 4, "{scheme}");
+            assert!(
+                sprt.total_requests() < wilson.total_requests(),
+                "{scheme}: {} vs {}",
+                sprt.total_requests(),
+                wilson.total_requests()
+            );
+            // The SPRT runs are a prefix of the exhaustive ones.
+            assert_eq!(sprt.runs[..], exhaustive.runs[..3]);
+            assert!(sprt.stopped_early());
+        }
+    }
+
+    #[test]
+    fn sprt_stop_is_independent_of_worker_count() {
+        let base = Campaign::new(AttackKind::Exhaustive { budget: 100 }, SchemeKind::Pssp)
+            .with_seed_range(6, 10)
+            .with_stop_rule(StopRule::sprt());
+        let serial = base.clone().with_workers(1).run();
+        let parallel = base.with_workers(8).run();
+        assert_eq!(serial.runs, parallel.runs);
+        assert_eq!(serial.verdict(), Verdict::Resists);
+        assert_eq!(serial.stop_rule.label(), "sprt");
+        assert!(serial.stopped_early());
     }
 
     #[test]
@@ -812,8 +951,16 @@ mod tests {
             workers: 1,
         };
         assert_eq!(report.verdict(), Verdict::Breaks);
-        let exhaustive = CampaignReport { stop_rule: StopRule::Exhaustive, ..report };
+        let exhaustive = CampaignReport { stop_rule: StopRule::Exhaustive, ..report.clone() };
         assert_eq!(exhaustive.verdict(), Verdict::Inconclusive);
+        // A custom Wilson threshold keeps judging undecided campaigns: a
+        // 6/8 split is nowhere near "breaks above 90 %", so the fallback
+        // must use the configured bar, not the 1/2 default.
+        let strict = CampaignReport {
+            stop_rule: StopRule::WilsonSettled { z: 1.96, threshold: 0.9, batch: 8 },
+            ..report
+        };
+        assert_eq!(strict.verdict(), Verdict::Inconclusive);
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //! what a remote attacker can and cannot do against a forking network
 //! server.  This crate provides:
 //!
-//! * [`victim`] — the forking worker-per-request server with an unbounded
-//!   `strcpy`-style overflow (and, for the exposure experiments, an
-//!   over-read disclosure bug), protected by any scheme.
+//! * [`victim`] — the victim definition: the vulnerable binary (unbounded
+//!   `strcpy`-style overflow plus, for the exposure experiments, an
+//!   over-read disclosure bug), deployment vehicle and frame geometry.
+//! * [`server`] — the long-lived forking server running that victim: the
+//!   parent process lives across the whole attack and serves each attacker
+//!   connection from a freshly forked worker whose canaries are inherited
+//!   or re-randomized per the scheme's fork-canary policy.
 //! * [`oracle`] — the attacker's crash/no-crash view of that server.
 //! * [`byte_by_byte`] — the BROP-style byte-by-byte attack that breaks SSP
 //!   in ~1024 requests and fails against P-SSP.
@@ -19,8 +23,9 @@
 //! * [`campaign`] — multi-seed campaigns fanning any of the above out over
 //!   the pool and aggregating success-rate and request-count statistics
 //!   (the statistically robust version of §VI-C), with optional adaptive
-//!   stop rules that end a campaign once its verdict is statistically
-//!   settled.
+//!   stop rules — Wilson-interval settling or Wald's sequential
+//!   probability-ratio test — that end a campaign once its verdict is
+//!   statistically settled.
 //!
 //! # Quick example
 //!
@@ -51,6 +56,7 @@ pub mod exhaustive;
 pub mod oracle;
 pub mod pool;
 pub mod reuse;
+pub mod server;
 pub mod stats;
 pub mod victim;
 
@@ -63,5 +69,6 @@ pub use exhaustive::ExhaustiveAttack;
 pub use oracle::{OverflowOracle, RequestOutcome};
 pub use pool::JobPool;
 pub use reuse::CanaryReuseAttack;
+pub use server::{Connection, ForkingServer};
 pub use stats::{AttackResult, AttackSummary};
-pub use victim::{Deployment, ForkingServer, FrameGeometry, VictimConfig, HIJACK_TARGET};
+pub use victim::{Deployment, FrameGeometry, VictimConfig, HIJACK_TARGET};

@@ -61,6 +61,14 @@ impl JobPool {
         self.workers.min(jobs).max(1)
     }
 
+    /// Worker count for pools nested inside a fan-out over `outer_jobs`
+    /// jobs on this pool: the CPUs are split between the outer fan-out and
+    /// each job's inner pool so nesting does not oversubscribe (results
+    /// are identical either way — only wall time changes).
+    pub fn nested_workers(&self, outer_jobs: usize) -> usize {
+        (self.workers / self.resolved_workers(outer_jobs)).max(1)
+    }
+
     /// Runs `job(index, &item)` for every item and returns the results in
     /// input order.  `job` must be a pure function of its inputs for the
     /// determinism guarantee to hold (the pool guarantees only ordering).
@@ -137,5 +145,18 @@ mod tests {
         assert_eq!(JobPool::with_workers(0).workers(), 1);
         assert_eq!(JobPool::with_workers(8).resolved_workers(3), 3);
         assert_eq!(JobPool::with_workers(8).resolved_workers(0), 1);
+    }
+
+    #[test]
+    fn nested_workers_split_the_pool_without_oversubscribing() {
+        let pool = JobPool::with_workers(8);
+        // 4 outer jobs on 8 CPUs leave 2 workers per inner pool ...
+        assert_eq!(pool.nested_workers(4), 2);
+        // ... more outer jobs than CPUs leave serial inner pools ...
+        assert_eq!(pool.nested_workers(16), 1);
+        // ... and a single outer job keeps the whole pool.
+        assert_eq!(pool.nested_workers(1), 8);
+        assert_eq!(pool.nested_workers(0), 8);
+        assert_eq!(JobPool::with_workers(1).nested_workers(5), 1);
     }
 }

@@ -11,8 +11,9 @@
 //! that frame's canary region), then the overflow in `handle_request`
 //! replaying the disclosed canaries in front of a rewritten return address.
 
+use crate::server::ForkingServer;
 use crate::stats::AttackResult;
-use crate::victim::{ForkingServer, HIJACK_TARGET};
+use crate::victim::HIJACK_TARGET;
 
 /// The canary-reuse strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +32,8 @@ impl CanaryReuseAttack {
     /// Runs the attack against a forking server victim.
     ///
     /// Requires direct access to the [`ForkingServer`] (not just the oracle
-    /// trait) because the disclosure and the overflow must hit the *same*
-    /// worker process.
+    /// trait) because the disclosure and the overflow must travel over one
+    /// keep-alive connection — i.e. hit the *same* worker process.
     pub fn run(&self, server: &mut ForkingServer) -> AttackResult {
         let geometry = server.geometry();
         let scheme = server.scheme();

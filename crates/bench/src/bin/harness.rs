@@ -22,7 +22,7 @@ fn print_usage() {
         "usage: harness [--seed N] [--quick] [--adaptive] [--format text|json|csv] \
          [--out DIR] <experiment>...\n\
          experiments: table1 fig5 table2 table3 table4 table5 effectiveness \
-         theorem1 ablation all\n\
+         server-attack theorem1 ablation all\n\
          (`attack` is accepted as an alias for `effectiveness`)\n\
          --quick     smaller workloads and campaigns (CI-sized)\n\
          --adaptive  stop effectiveness campaigns once their verdict settles\n\
@@ -216,6 +216,24 @@ fn main() {
                 (
                     exp::format_effectiveness(&rows),
                     rows.iter().map(exp::EffectivenessRow::record).collect(),
+                )
+            }),
+        },
+        Experiment {
+            name: "server-attack",
+            title: "Forking-server attack: SPRT vs Wilson vs exhaustive stop rules (\u{a7}II)",
+            run: Box::new(move || {
+                let schemes = [
+                    SchemeKind::Ssp,
+                    SchemeKind::Pssp,
+                    SchemeKind::PsspNt,
+                    SchemeKind::PsspOwf,
+                    SchemeKind::PsspBin32,
+                ];
+                let rows = exp::run_server_attack(seed, &schemes, byte_budget, campaign_seeds);
+                (
+                    exp::format_server_attack(&rows),
+                    rows.iter().map(exp::ServerAttackRow::record).collect(),
                 )
             }),
         },

@@ -9,12 +9,14 @@ use std::fmt::Write as _;
 
 use polycanary_attacks::campaign::{AttackKind, Campaign, CampaignReport, StopRule, Verdict};
 use polycanary_attacks::pool::JobPool;
-use polycanary_attacks::victim::Deployment;
+use polycanary_attacks::server::ForkingServer;
+use polycanary_attacks::victim::{Deployment, VictimConfig};
 use polycanary_compiler::codegen::Compiler;
 use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder};
 use polycanary_core::analysis::{attack_effort, theorem1_independence_test, IndependenceTest};
 use polycanary_core::record::Record;
 use polycanary_core::rerandomize::re_randomize;
+use polycanary_core::scheme::ForkCanaryPolicy;
 use polycanary_core::scheme::SchemeKind;
 use polycanary_crypto::Xoshiro256StarStar;
 use polycanary_rewriter::LinkMode;
@@ -44,8 +46,14 @@ pub struct Table1Row {
     /// Successful hijacks in the BROP campaign.
     pub brop_successes: u64,
     /// Completed campaign runs (may stop short of [`TABLE1_BROP_SEEDS`]
-    /// once the adaptive stop rule settles the verdict).
+    /// once the sequential stop rule settles the verdict).
     pub brop_runs: u64,
+    /// Total connections the BROP campaign opened against its forking
+    /// servers (one connection per byte-guess in the reconnect loop).
+    pub brop_connections: u64,
+    /// What a forked worker's canaries look like across the reconnect
+    /// loop — the property the BROP column turns on.
+    pub fork_canary_policy: ForkCanaryPolicy,
     /// "Correctness" column — measured by forking a child after the parent
     /// pushed protected frames and letting the child return through them.
     pub correct: bool,
@@ -63,6 +71,8 @@ impl Table1Row {
             .field("brop_verdict", self.brop_verdict.label())
             .field("brop_successes", self.brop_successes)
             .field("brop_runs", self.brop_runs)
+            .field("brop_connections", self.brop_connections)
+            .field("fork_canary_policy", self.fork_canary_policy.label())
             .field("correct", self.correct)
             .field("compiler_overhead_percent", self.compiler_overhead_percent)
     }
@@ -84,16 +94,16 @@ pub fn run_table1(seed: u64, spec_programs: usize) -> Vec<Table1Row> {
     ];
     let programs: Vec<SpecProgram> = spec_suite().into_iter().take(spec_programs.max(1)).collect();
     let pool = JobPool::new();
-    // Split the CPUs between the row fan-out and each row's inner campaign
-    // so nesting does not oversubscribe (results are identical either way).
-    let campaign_workers = (pool.workers() / pool.resolved_workers(schemes.len())).max(1);
+    let campaign_workers = pool.nested_workers(schemes.len());
     pool.run(&schemes, |_, &scheme| {
-        // BROP prevention: a multi-seed campaign verdict, not a single-seed
-        // anecdote.  The adaptive rule stops once the verdict is settled.
+        // BROP prevention: a multi-seed forking-server campaign verdict, not
+        // a single-seed anecdote.  The sequential (SPRT) rule stops the
+        // reconnect loop as soon as the evidence is conclusive — one victim
+        // earlier than the Wilson rule on these unanimous populations.
         let budget = if scheme == SchemeKind::Ssp { 4_000 } else { 3_000 };
         let brop = Campaign::new(AttackKind::ByteByByte { budget }, scheme)
             .with_seed_range(seed, TABLE1_BROP_SEEDS)
-            .with_stop_rule(StopRule::settled())
+            .with_stop_rule(StopRule::sprt())
             .with_workers(campaign_workers)
             .run();
 
@@ -110,6 +120,8 @@ pub fn run_table1(seed: u64, spec_programs: usize) -> Vec<Table1Row> {
             brop_verdict: brop.verdict(),
             brop_successes: brop.successes(),
             brop_runs: brop.campaigns(),
+            brop_connections: brop.total_requests(),
+            fork_canary_policy: scheme.fork_canary_policy(),
             correct,
             compiler_overhead_percent: mean(&overheads),
         }
@@ -178,25 +190,27 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<12} {:>16} {:>12} {:>28}",
-        "Defence", "BROP Prevention", "Correctness", "Compiler overhead (%)"
+        "{:<12} {:>26} {:>14} {:>12} {:>24}",
+        "Defence", "BROP Prevention", "Fork canary", "Correctness", "Compiler overhead (%)"
     );
     for row in rows {
         let brop = format!(
-            "{} ({}/{})",
+            "{} ({}/{}, {} conns)",
             match row.brop_verdict {
                 Verdict::Resists => "Yes",
                 Verdict::Breaks => "No",
                 Verdict::Inconclusive => "?",
             },
             row.brop_successes,
-            row.brop_runs
+            row.brop_runs,
+            row.brop_connections
         );
         let _ = writeln!(
             out,
-            "{:<12} {:>16} {:>12} {:>28.2}",
+            "{:<12} {:>26} {:>14} {:>12} {:>24.2}",
             row.scheme.name(),
             brop,
+            row.fork_canary_policy.label(),
             if row.correct { "Yes" } else { "No" },
             row.compiler_overhead_percent
         );
@@ -609,6 +623,178 @@ pub fn format_effectiveness(rows: &[EffectivenessRow]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Forking-server attack: stop-rule comparison over the reconnect loop (§II)
+// ---------------------------------------------------------------------------
+
+/// One attack strategy campaigned under all three stop rules against the
+/// same victim population, so their verdicts and connection budgets can be
+/// compared cell by cell.
+#[derive(Debug, Clone)]
+pub struct StopRuleComparison {
+    /// The campaign under [`StopRule::Sprt`] (Wald sequential test).
+    pub sprt: CampaignReport,
+    /// The campaign under [`StopRule::WilsonSettled`].
+    pub wilson: CampaignReport,
+    /// The full-budget campaign under [`StopRule::Exhaustive`].
+    pub exhaustive: CampaignReport,
+}
+
+impl StopRuleComparison {
+    /// Whether all three rules reached the same verdict (they provably do
+    /// on unanimous victim populations; see [`Verdict`] for the mixed-rate
+    /// caveat).
+    pub fn verdicts_agree(&self) -> bool {
+        self.sprt.verdict() == self.exhaustive.verdict()
+            && self.wilson.verdict() == self.exhaustive.verdict()
+    }
+
+    /// The self-describing record form: one nested campaign record
+    /// (including per-seed runs) per stop rule, plus the agreement flag.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("verdict", self.exhaustive.verdict().label())
+            .field("verdicts_agree", self.verdicts_agree())
+            .field("sprt", self.sprt.record())
+            .field("wilson", self.wilson.record())
+            .field("exhaustive", self.exhaustive.record())
+    }
+
+    fn cell(report: &CampaignReport) -> String {
+        format!("{} {}v/{}c", report.verdict().label(), report.campaigns(), report.total_requests())
+    }
+}
+
+/// One row of the forking-server attack experiment: a scheme, its
+/// fork-canary policy, and the byte-by-byte / exhaustive-guess campaigns
+/// under the three stop rules.
+#[derive(Debug, Clone)]
+pub struct ServerAttackRow {
+    /// The scheme protecting every victim server.
+    pub scheme: SchemeKind,
+    /// Deployment vehicle (binary rewriter for `PsspBin32`).
+    pub deployment: Deployment,
+    /// Whether forked workers inherit or re-randomize the parent's canaries.
+    pub policy: ForkCanaryPolicy,
+    /// The BROP-style byte-by-byte attack under the three stop rules.
+    pub byte_by_byte: StopRuleComparison,
+    /// Whole-word exhaustive guessing under the three stop rules.
+    pub exhaustive: StopRuleComparison,
+    /// Operational counters of one representative victim server after a
+    /// full byte-by-byte attack: connections served, requests handled,
+    /// workers crashed and forks performed.
+    pub server: Record,
+}
+
+impl ServerAttackRow {
+    /// The self-describing record form of this row, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("scheme", self.scheme.name())
+            .field("deployment", self.deployment.label())
+            .field("fork_canary_policy", self.policy.label())
+            .field("byte_by_byte", self.byte_by_byte.record())
+            .field("exhaustive", self.exhaustive.record())
+            .field("server", self.server.clone())
+    }
+}
+
+/// Runs the forking-server attack experiment: for every scheme, campaign
+/// the byte-by-byte and exhaustive attacks against forking-server victims
+/// under all three stop rules ([`StopRule::Sprt`], [`StopRule::settled`],
+/// [`StopRule::Exhaustive`]) over `seeds` victim seeds derived from `seed`.
+/// Scheme rows fan out over the shared [`JobPool`]; every cell is
+/// deterministic in `seed` and independent of the worker count.
+pub fn run_server_attack(
+    seed: u64,
+    schemes: &[SchemeKind],
+    byte_budget: u64,
+    seeds: usize,
+) -> Vec<ServerAttackRow> {
+    let seeds = seeds.max(1);
+    let pool = JobPool::new();
+    let campaign_workers = pool.nested_workers(schemes.len());
+    pool.run(schemes, |_, &scheme| {
+        let deployment = effectiveness_deployment(scheme);
+        let compare = |attack: AttackKind, base: u64| {
+            let campaign = |rule: StopRule| {
+                Campaign::new(attack, scheme)
+                    .with_deployment(deployment)
+                    .with_seed_range(base, seeds)
+                    .with_stop_rule(rule)
+                    .with_workers(campaign_workers)
+                    .run()
+            };
+            StopRuleComparison {
+                sprt: campaign(StopRule::sprt()),
+                wilson: campaign(StopRule::settled()),
+                exhaustive: campaign(StopRule::Exhaustive),
+            }
+        };
+        let byte_by_byte = compare(AttackKind::ByteByByte { budget: byte_budget }, seed);
+        let exhaustive = compare(AttackKind::Exhaustive { budget: 500 }, seed ^ 1);
+
+        // One representative victim, attacked end to end, for the
+        // operational counters of the reconnect loop itself.
+        let mut server = ForkingServer::new(
+            VictimConfig::new(scheme, seed ^ 0x5E4E4).with_deployment(deployment),
+        );
+        let geometry = server.geometry();
+        let _ = polycanary_attacks::ByteByByteAttack::with_budget(byte_budget).run(
+            &mut server,
+            geometry,
+            scheme,
+        );
+        let policy = server.canary_policy();
+
+        ServerAttackRow {
+            scheme,
+            deployment,
+            policy,
+            byte_by_byte,
+            exhaustive,
+            server: server.stats_record(),
+        }
+    })
+}
+
+/// Renders the forking-server attack experiment: per cell, the verdict
+/// plus `v` victims attacked and `c` connections spent, per stop rule.
+pub fn format_server_attack(rows: &[ServerAttackRow]) -> String {
+    let mut out = String::new();
+    let seeds = rows.first().map(|r| r.byte_by_byte.exhaustive.configured_seeds).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "forking-server campaigns over {seeds} victim seeds; cells are \
+         `verdict victims/connections` under sprt | wilson | exhaustive"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:<13} {:<58} {:<58}",
+        "Scheme", "Fork canary", "byte-by-byte", "exhaustive (500)"
+    );
+    for row in rows {
+        let fmt_cmp = |c: &StopRuleComparison| {
+            format!(
+                "{} | {} | {}{}",
+                StopRuleComparison::cell(&c.sprt),
+                StopRuleComparison::cell(&c.wilson),
+                StopRuleComparison::cell(&c.exhaustive),
+                if c.verdicts_agree() { "" } else { "  DISAGREE" }
+            )
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<13} {:<58} {:<58}",
+            row.scheme.name(),
+            row.policy.label(),
+            fmt_cmp(&row.byte_by_byte),
+            fmt_cmp(&row.exhaustive),
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Theorem 1 — independence of exposed canaries
 // ---------------------------------------------------------------------------
 
@@ -859,6 +1045,86 @@ mod tests {
         }
         // And the rewritten binary still resists the byte-by-byte attack.
         assert!(row.byte_by_byte.none_succeeded(), "{:?}", row.byte_by_byte);
+    }
+
+    #[test]
+    fn server_attack_rows_compare_stop_rules_consistently() {
+        use polycanary_core::record::Value;
+
+        let rows = run_server_attack(7, &[SchemeKind::Ssp, SchemeKind::Pssp], 3_000, 6);
+        let ssp = &rows[0];
+        let pssp = &rows[1];
+
+        // Static canaries fall to byte-by-byte, polymorphic ones survive,
+        // and all three stop rules agree on both.
+        assert_eq!(ssp.byte_by_byte.exhaustive.verdict(), Verdict::Breaks);
+        assert_eq!(pssp.byte_by_byte.exhaustive.verdict(), Verdict::Resists);
+        assert_eq!(ssp.policy, ForkCanaryPolicy::Inherited);
+        assert_eq!(pssp.policy, ForkCanaryPolicy::Rerandomized);
+        for row in &rows {
+            assert!(row.byte_by_byte.verdicts_agree(), "{}", row.scheme);
+            assert!(row.exhaustive.verdicts_agree(), "{}", row.scheme);
+            // SPRT settles unanimous cells one victim before Wilson and
+            // never spends more connections.
+            assert_eq!(row.byte_by_byte.sprt.campaigns(), 3, "{}", row.scheme);
+            assert_eq!(row.byte_by_byte.wilson.campaigns(), 4, "{}", row.scheme);
+            assert!(
+                row.byte_by_byte.sprt.total_requests() <= row.byte_by_byte.wilson.total_requests()
+            );
+            // A bounded exhaustive guess never breaks either scheme.
+            assert_eq!(row.exhaustive.exhaustive.verdict(), Verdict::Resists, "{}", row.scheme);
+        }
+
+        // The representative server's counters describe the reconnect loop.
+        let conns = ssp.server.get("connections").and_then(Value::as_u64).unwrap();
+        assert!(conns >= 64, "a byte-by-byte break opens many connections: {conns}");
+        assert_eq!(ssp.server.get("forks").and_then(Value::as_u64), Some(conns));
+        assert_eq!(ssp.server.get("fork_canary_policy"), Some(&Value::Str("inherited".into())));
+
+        let rendered = format_server_attack(&rows);
+        assert!(rendered.contains("6 victim seeds"), "{rendered}");
+        assert!(rendered.contains("breaks 3v"), "{rendered}");
+        assert!(!rendered.contains("DISAGREE"), "{rendered}");
+    }
+
+    #[test]
+    fn server_attack_is_deterministic_and_self_describing() {
+        use polycanary_core::record::{records_from_json, records_to_json, Value};
+
+        let once = run_server_attack(9, &[SchemeKind::Ssp], 2_500, 4);
+        let twice = run_server_attack(9, &[SchemeKind::Ssp], 2_500, 4);
+        assert_eq!(once[0].byte_by_byte.exhaustive.runs, twice[0].byte_by_byte.exhaustive.runs);
+        assert_eq!(once[0].server, twice[0].server);
+
+        // The export parses back: nested stop-rule campaigns and per-seed
+        // runs survive the JSON round trip.
+        let json = records_to_json(&once.iter().map(ServerAttackRow::record).collect::<Vec<_>>());
+        let parsed = records_from_json(&json).expect("server-attack export parses");
+        let Some(Value::Record(byte)) = parsed[0].get("byte_by_byte") else {
+            panic!("nested comparison record: {parsed:?}")
+        };
+        let Some(Value::Record(sprt)) = byte.get("sprt") else { panic!("nested sprt campaign") };
+        assert_eq!(sprt.get("stop_rule"), Some(&Value::Str("sprt".into())));
+        let Some(Value::List(runs)) = sprt.get("runs") else { panic!("per-seed runs") };
+        assert_eq!(runs.len() as u64, once[0].byte_by_byte.sprt.campaigns());
+    }
+
+    #[test]
+    fn table1_brop_column_runs_on_the_sprt_reconnect_loop() {
+        let rows = run_table1(3, 2);
+        for row in &rows {
+            // The SPRT rule settles the unanimous BROP cells in 3 victims.
+            assert_eq!(row.brop_runs, 3, "{}", row.scheme);
+            assert!(row.brop_connections > 0, "{}", row.scheme);
+            let expected = match row.scheme {
+                SchemeKind::Ssp => ForkCanaryPolicy::Inherited,
+                _ => ForkCanaryPolicy::Rerandomized,
+            };
+            assert_eq!(row.fork_canary_policy, expected, "{}", row.scheme);
+        }
+        let rendered = format_table1(&rows);
+        assert!(rendered.contains("conns"), "{rendered}");
+        assert!(rendered.contains("Fork canary"), "{rendered}");
     }
 
     #[test]

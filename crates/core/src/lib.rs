@@ -45,9 +45,9 @@ pub mod schemes;
 pub use analysis::{attack_effort, theorem1_independence_test, AttackEffort};
 pub use canary::SplitCanary;
 pub use layout::FrameInfo;
-pub use record::{records_to_csv, records_to_json, Record, Value};
+pub use record::{records_from_json, records_to_csv, records_to_json, Record, Value};
 pub use rerandomize::{re_randomize, re_randomize_many, re_randomize_packed32};
-pub use scheme::{CanaryScheme, Granularity, SchemeKind, SchemeProperties};
+pub use scheme::{CanaryScheme, ForkCanaryPolicy, Granularity, SchemeKind, SchemeProperties};
 
 #[cfg(test)]
 mod tests {

@@ -1,11 +1,21 @@
-//! Self-describing experiment records with JSON and CSV rendering.
+//! Self-describing experiment records with JSON and CSV rendering — and a
+//! JSON *parser*, so exported reports can be read back and verified.
 //!
 //! Every table row and campaign report in the evaluation can describe
 //! itself as a [`Record`]: an ordered list of named [`Value`]s.  Records
 //! make the whole bench trajectory machine-readable — the harness emits
 //! them as JSON (nested values preserved) or CSV (one row per record,
 //! nested values JSON-encoded into their cell) without pulling any
-//! serialization dependency into the workspace.
+//! serialization dependency into the workspace.  [`Record::from_json`] and
+//! [`records_from_json`] invert the JSON writer: cross-run tooling (and the
+//! round-trip tests) re-parse an export instead of trusting it blindly.
+//!
+//! Round-trip caveats, both inherent to JSON: numbers are re-typed from
+//! their textual form (a whole-valued [`Value::Float`] like `1.0` prints as
+//! `1` and re-parses as [`Value::UInt`]), and non-finite floats serialize
+//! as `null`, which re-parses as [`Value::Null`].  Comparisons across a
+//! round trip should therefore be numeric ([`Value::as_f64`]) rather than
+//! variant-exact for float fields.
 //!
 //! # Example
 //!
@@ -23,6 +33,9 @@
 /// One field value of a [`Record`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// JSON `null` — produced by the parser (and by serializing a
+    /// non-finite float); the writers emit it as `null` / an empty CSV cell.
+    Null,
     /// A boolean.
     Bool(bool),
     /// An unsigned integer (seeds, counts, cycle totals).
@@ -105,6 +118,7 @@ impl Value {
 
     fn write_json(&self, out: &mut String) {
         match self {
+            Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::UInt(n) => out.push_str(&n.to_string()),
             Value::Int(n) => out.push_str(&n.to_string()),
@@ -129,10 +143,62 @@ impl Value {
     /// when needed), nested lists/records as a JSON-encoded cell.
     fn to_csv_cell(&self) -> String {
         match self {
+            Value::Null => String::new(),
             Value::Bool(_) | Value::UInt(_) | Value::Int(_) | Value::Float(_) => self.to_json(),
             Value::Str(s) => csv_escape(s),
             Value::List(_) | Value::Record(_) => csv_escape(&self.to_json()),
         }
+    }
+
+    /// This value as a float, when it is numeric: the variant-insensitive
+    /// accessor round-trip comparisons use (see the module docs on number
+    /// re-typing).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// This value as an unsigned integer, when it is one (or a
+    /// whole-valued, in-range signed integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a boolean, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON value (object, array, scalar) from `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first offending byte when
+    /// `input` is not exactly one well-formed JSON value.
+    pub fn from_json(input: &str) -> Result<Value, ParseError> {
+        let mut parser = Parser::new(input);
+        let value = parser.parse_value()?;
+        parser.expect_end()?;
+        Ok(value)
     }
 }
 
@@ -152,6 +218,263 @@ fn write_json_string(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// Error describing why a JSON document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or found there.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Recursive-descent parser over the subset of JSON the writers emit (which
+/// is all of JSON except exotic number forms like leading `+`).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        if self.peek().is_some() {
+            return Err(self.error("trailing data after the JSON value"));
+        }
+        Ok(())
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.parse_record().map(Value::Record),
+            Some(b'[') => self.parse_list(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') | Some(b'f') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("expected `true` or `false`"))
+                }
+            }
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("expected `null`"))
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.error(format!("unexpected byte `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_record(&mut self) -> Result<Record, ParseError> {
+        self.expect(b'{')?;
+        let mut record = Record::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(record);
+        }
+        loop {
+            let name = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            record.push(name, value);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(record);
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::List(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::List(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    /// Reads the four hex digits of a `\u` escape starting at `start`.
+    fn hex_escape(&self, start: usize) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(start..start + 4)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex_escape(self.pos + 1)?;
+                            self.pos += 4;
+                            let scalar = match code {
+                                // High surrogate: JSON encodes astral-plane
+                                // characters (which standard encoders emit,
+                                // e.g. Python's ensure_ascii) as a
+                                // \uD800-\uDBFF + \uDC00-\uDFFF pair.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                    {
+                                        return Err(self.error("unpaired high surrogate"));
+                                    }
+                                    let low = self.hex_escape(self.pos + 3)?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    self.pos += 6;
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => return Err(self.error("unpaired low surrogate")),
+                                code => code,
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Consume one multi-byte UTF-8 scalar.  The input is a
+                    // &str, so the leading byte reliably gives the width and
+                    // the sequence is well-formed — decode just that slice
+                    // rather than revalidating the whole remaining input.
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + width)
+                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += width;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>().map(Value::Float).map_err(|_| self.error("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| self.error("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| self.error("invalid number"))
+        }
+    }
 }
 
 fn csv_escape(s: &str) -> String {
@@ -216,6 +539,20 @@ impl Record {
         }
         out.push('}');
     }
+
+    /// Parses one JSON object back into a [`Record`] (field order
+    /// preserved) — the inverse of [`Record::to_json`], modulo the number
+    /// re-typing described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] when `input` is not exactly one JSON object.
+    pub fn from_json(input: &str) -> Result<Record, ParseError> {
+        match Value::from_json(input)? {
+            Value::Record(rec) => Ok(rec),
+            _ => Err(ParseError { offset: 0, message: "expected a JSON object".into() }),
+        }
+    }
 }
 
 /// Renders `records` as one JSON array.
@@ -229,6 +566,28 @@ pub fn records_to_json(records: &[Record]) -> String {
     }
     out.push(']');
     out
+}
+
+/// Parses a JSON array of objects back into records — the inverse of
+/// [`records_to_json`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when `input` is not a JSON array or any element
+/// is not an object.
+pub fn records_from_json(input: &str) -> Result<Vec<Record>, ParseError> {
+    match Value::from_json(input)? {
+        Value::List(items) => items
+            .into_iter()
+            .map(|item| match item {
+                Value::Record(rec) => Ok(rec),
+                _ => {
+                    Err(ParseError { offset: 0, message: "array element is not an object".into() })
+                }
+            })
+            .collect(),
+        _ => Err(ParseError { offset: 0, message: "expected a JSON array".into() }),
+    }
 }
 
 /// Renders `records` as CSV with a header row.
@@ -308,5 +667,110 @@ mod tests {
         let recs = vec![Record::new().field("i", 0u64), Record::new().field("i", 1u64)];
         assert_eq!(records_to_json(&recs), r#"[{"i":0},{"i":1}]"#);
         assert_eq!(records_to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn parser_round_trips_the_writer_output() {
+        let rec = Record::new()
+            .field("scheme", "P-SSP")
+            .field("ok", true)
+            .field("bad", false)
+            .field("count", 42u64)
+            .field("delta", -7i64)
+            .field("rate", 0.125f64)
+            .field("label", "quote \" backslash \\ tab \t newline \n")
+            .field(
+                "runs",
+                vec![Record::new().field("seed", 3u64), Record::new().field("seed", 4u64)],
+            )
+            .field("empty_list", Vec::<Value>::new())
+            .field("nested", Record::new().field("x", 1u64));
+        let parsed = Record::from_json(&rec.to_json()).expect("writer output parses");
+        assert_eq!(parsed, rec);
+        // And through the array writer/parser pair.
+        let parsed = records_from_json(&records_to_json(std::slice::from_ref(&rec))).unwrap();
+        assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn parser_retypes_numbers_predictably() {
+        assert_eq!(Value::from_json("5"), Ok(Value::UInt(5)));
+        assert_eq!(Value::from_json("-5"), Ok(Value::Int(-5)));
+        assert_eq!(Value::from_json("5.5"), Ok(Value::Float(5.5)));
+        assert_eq!(Value::from_json("1e3"), Ok(Value::Float(1000.0)));
+        assert_eq!(Value::from_json("null"), Ok(Value::Null));
+        // A whole-valued float prints without a fraction and comes back as
+        // an integer — the documented caveat as_f64 smooths over.
+        let rec = Record::new().field("rate", 1.0f64);
+        let back = Record::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back.get("rate"), Some(&Value::UInt(1)));
+        assert_eq!(back.get("rate").unwrap().as_f64(), Some(1.0));
+        // Non-finite floats serialize as null and come back Null.
+        let rec = Record::new().field("nan", f64::NAN);
+        assert_eq!(Record::from_json(&rec.to_json()).unwrap().get("nan"), Some(&Value::Null));
+        // u64 values above i64::MAX survive.
+        let big = u64::MAX;
+        let rec = Record::new().field("big", big);
+        assert_eq!(Record::from_json(&rec.to_json()).unwrap().get("big"), Some(&Value::UInt(big)));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1,}", "{\"a\" 1}", "tru", "1 2", "\"abc"] {
+            assert!(Value::from_json(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert!(Record::from_json("[1]").is_err(), "a record must be an object");
+        assert!(records_from_json("{}").is_err(), "records must be an array");
+        assert!(records_from_json("[1]").is_err(), "record array elements must be objects");
+        let err = Value::from_json("{\"a\":nope}").unwrap_err();
+        assert!(err.to_string().contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn parser_decodes_surrogate_pairs_and_rejects_lone_surrogates() {
+        // Standard encoders (e.g. Python's ensure_ascii) emit astral-plane
+        // characters as \u surrogate pairs; they must decode, not corrupt.
+        assert_eq!(Value::from_json(r#""\ud83d\udc14""#), Ok(Value::Str("\u{1F414}".into())));
+        assert_eq!(
+            Value::from_json(r#""fork \ud83d\udc14 loop""#),
+            Ok(Value::Str("fork \u{1F414} loop".into()))
+        );
+        for bad in [r#""\ud83d""#, r#""\ud83d\n""#, r#""\ud83dA""#, r#""\udc14""#] {
+            assert!(Value::from_json(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_multibyte_strings() {
+        let rec = Record::new()
+            .field("two", "canari\u{00e9}s")
+            .field("three", "\u{20ac}100 \u{2260} free")
+            .field("four", "fork \u{1F414} loop");
+        assert_eq!(Record::from_json(&rec.to_json()), Ok(rec));
+    }
+
+    #[test]
+    fn parser_handles_whitespace_and_escapes() {
+        let parsed = Value::from_json(" { \"a\" : [ 1 , \"\\u0041\\n\" ] } ").unwrap();
+        let Value::Record(rec) = parsed else { panic!("object expected") };
+        assert_eq!(
+            rec.get("a"),
+            Some(&Value::List(vec![Value::UInt(1), Value::Str("A\n".into())]))
+        );
+    }
+
+    #[test]
+    fn value_accessors_cover_the_scalar_variants() {
+        assert_eq!(Value::UInt(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Int(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::UInt(3).as_u64(), Some(3));
+        assert_eq!(Value::Int(-3).as_u64(), None);
+        assert_eq!(Value::Int(3).as_u64(), Some(3));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_bool(), None);
+        assert_eq!(Value::Null.to_json(), "null");
     }
 }

@@ -41,6 +41,40 @@ impl fmt::Display for Granularity {
     }
 }
 
+/// What happens to the canaries a forked worker inherits from its parent —
+/// the property the forking-server threat model (§II) turns on.
+///
+/// A scheme whose canaries are [`ForkCanaryPolicy::Inherited`] hands every
+/// worker the same secret, so a byte-by-byte attacker accumulates progress
+/// across reconnects; a [`ForkCanaryPolicy::Rerandomized`] scheme refreshes
+/// the stack canaries (per fork or per call), denying any accumulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForkCanaryPolicy {
+    /// Children keep the parent's stack canaries byte-for-byte (classic
+    /// SSP): the fork loop is an oracle.
+    Inherited,
+    /// The stack canaries a child presents are re-randomized — by the fork
+    /// hook or by every prologue — so guesses confirmed against one worker
+    /// are stale by the next connection.
+    Rerandomized,
+}
+
+impl ForkCanaryPolicy {
+    /// Display label used in reports and serialized records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ForkCanaryPolicy::Inherited => "inherited",
+            ForkCanaryPolicy::Rerandomized => "rerandomized",
+        }
+    }
+}
+
+impl fmt::Display for ForkCanaryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Qualitative and quantitative properties of a scheme (Table I columns plus
 /// the inputs of the security analysis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +161,16 @@ impl SchemeKind {
     pub fn scheme(self) -> Box<dyn CanaryScheme> {
         crate::schemes::scheme_for(self)
     }
+
+    /// What a forked worker's stack canaries look like to an attacker
+    /// reconnecting to a server protected by this scheme, derived from the
+    /// scheme's re-randomization granularity.
+    pub fn fork_canary_policy(self) -> ForkCanaryPolicy {
+        match self.scheme().properties().granularity {
+            Granularity::Never => ForkCanaryPolicy::Inherited,
+            Granularity::PerFork | Granularity::PerCall => ForkCanaryPolicy::Rerandomized,
+        }
+    }
 }
 
 impl fmt::Display for SchemeKind {
@@ -199,5 +243,18 @@ mod tests {
         assert_eq!(Granularity::Never.to_string(), "never");
         assert_eq!(Granularity::PerFork.to_string(), "per-fork");
         assert_eq!(Granularity::PerCall.to_string(), "per-call");
+    }
+
+    #[test]
+    fn only_static_canary_schemes_inherit_across_fork() {
+        for kind in SchemeKind::ALL {
+            let expected = match kind {
+                SchemeKind::Native | SchemeKind::Ssp => ForkCanaryPolicy::Inherited,
+                _ => ForkCanaryPolicy::Rerandomized,
+            };
+            assert_eq!(kind.fork_canary_policy(), expected, "{kind}");
+        }
+        assert_eq!(ForkCanaryPolicy::Inherited.to_string(), "inherited");
+        assert_eq!(ForkCanaryPolicy::Rerandomized.label(), "rerandomized");
     }
 }

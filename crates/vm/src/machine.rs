@@ -59,6 +59,7 @@ pub struct Machine {
     loader_rng: SplitMix64,
     next_pid: u64,
     stack_size: u64,
+    forks: u64,
     /// Execution configuration applied to every run.
     pub exec_config: ExecConfig,
 }
@@ -90,6 +91,7 @@ impl Machine {
             loader_rng: SplitMix64::new(seed),
             next_pid: 1,
             stack_size: DEFAULT_STACK_SIZE,
+            forks: 0,
             exec_config: ExecConfig::default(),
         }
     }
@@ -132,9 +134,17 @@ impl Machine {
     pub fn fork(&mut self, parent: &mut Process) -> Process {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
+        self.forks += 1;
         let mut child = parent.fork(pid);
         self.hooks.on_fork_child(&mut child);
         child
+    }
+
+    /// Total number of forks this machine has performed, over all parents.
+    /// A forking server's connection loop forks one worker per accepted
+    /// connection, so this counter doubles as its connections-served gauge.
+    pub fn forks(&self) -> u64 {
+        self.forks
     }
 
     /// Spawns a thread sharing the parent's program.  Threads get their own
@@ -281,6 +291,21 @@ mod tests {
         let child = machine.fork(&mut parent);
         assert_eq!(parent.tls.canary(), child.tls.canary());
         assert_ne!(parent.pid(), child.pid());
+    }
+
+    #[test]
+    fn machine_counts_forks_across_all_parents() {
+        let mut machine = Machine::new(trivial_program(), Box::new(NoHooks), 5);
+        assert_eq!(machine.forks(), 0);
+        let mut a = machine.spawn();
+        let mut b = machine.spawn();
+        let _ = machine.fork(&mut a);
+        let _ = machine.fork(&mut b);
+        let _ = machine.fork(&mut a);
+        assert_eq!(machine.forks(), 3);
+        // Spawning fresh top-level processes is not a fork.
+        let _ = machine.spawn();
+        assert_eq!(machine.forks(), 3);
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! fraction of the requests, plus the machine-readable record export.
 //!
 //! A fixed-budget campaign attacks every configured victim seed.  An
-//! adaptive campaign processes the seed list in fixed-size batches and
-//! stops as soon as a Wilson-interval bound proves the verdict (here:
-//! "success rate is above / below 1/2 at 95 % confidence"), so unanimous
-//! outcomes settle after the first batch.
+//! adaptive campaign stops as soon as its stop rule proves the verdict:
+//! the Wilson rule once an interval bound clears the 1/2 threshold (four
+//! unanimous victims), the sequential SPRT rule once Wald's likelihood
+//! ratio crosses a 5 % error boundary (three unanimous victims — always at
+//! most the Wilson cost on unanimous populations).
 //!
 //! Run with: `cargo run --release --example adaptive_campaign`
 
@@ -19,31 +20,33 @@ fn main() {
         let base = Campaign::new(AttackKind::ByteByByte { budget: 4_000 }, scheme)
             .with_seed_range(0xADA9, 32);
         let fixed = base.clone().run();
-        let adaptive = base.with_stop_rule(StopRule::settled()).run();
+        let wilson = base.clone().with_stop_rule(StopRule::settled()).run();
+        let sprt = base.with_stop_rule(StopRule::sprt()).run();
 
-        println!(
-            "{:<8} fixed    {:>2}/{} seeds, verdict {:<12} {:>7} total requests",
-            scheme.name(),
-            fixed.successes(),
-            fixed.campaigns(),
-            fixed.verdict().label(),
-            fixed.total_requests()
-        );
-        println!(
-            "{:<8} adaptive {:>2}/{} seeds, verdict {:<12} {:>7} total requests ({} seeds skipped)",
-            scheme.name(),
-            adaptive.successes(),
-            adaptive.campaigns(),
-            adaptive.verdict().label(),
-            adaptive.total_requests(),
-            adaptive.configured_seeds - adaptive.runs.len()
-        );
-        // SSP and P-SSP are unanimous populations, so the early stop
-        // provably reaches the exhaustive verdict (mixed-rate populations
-        // would carry the stop rule's configured error probability).
-        assert_eq!(fixed.verdict(), adaptive.verdict(), "unanimous cells keep their verdict");
+        let line = |label: &str, report: &polycanary::attacks::CampaignReport| {
+            println!(
+                "{:<8} {:<8} {:>2}/{} seeds, verdict {:<12} {:>7} total requests ({} skipped)",
+                scheme.name(),
+                label,
+                report.successes(),
+                report.campaigns(),
+                report.verdict().label(),
+                report.total_requests(),
+                report.configured_seeds - report.runs.len()
+            );
+        };
+        line("fixed", &fixed);
+        line("wilson", &wilson);
+        line("sprt", &sprt);
+        // SSP and P-SSP are unanimous populations, so the early stops
+        // provably reach the exhaustive verdict (mixed-rate populations
+        // would carry the stop rules' configured error probabilities), and
+        // the sequential test is never more expensive than the Wilson rule.
+        assert_eq!(fixed.verdict(), wilson.verdict(), "unanimous cells keep their verdict");
+        assert_eq!(fixed.verdict(), sprt.verdict(), "unanimous cells keep their verdict");
+        assert!(sprt.total_requests() <= wilson.total_requests());
 
-        println!("\nadaptive campaign as a self-describing JSON record:");
-        println!("{}\n", adaptive.record().to_json());
+        println!("\nsequential (SPRT) campaign as a self-describing JSON record:");
+        println!("{}\n", sprt.record().to_json());
     }
 }

@@ -1,5 +1,7 @@
 //! The headline experiment of the paper (§II-B, §VI-C): the byte-by-byte
-//! attack against a forking server, under classic SSP and under P-SSP.
+//! attack against a long-lived forking server, under classic SSP and under
+//! P-SSP — driven through the server's connection loop, the way a remote
+//! attacker actually sees it.
 //!
 //! Run with: `cargo run --release --example forking_server_attack`
 
@@ -7,7 +9,21 @@ use polycanary::attacks::{ByteByByteAttack, ForkingServer, VictimConfig};
 use polycanary::core::SchemeKind;
 
 fn main() {
-    println!("byte-by-byte attack against a forking worker-per-request server\n");
+    println!("byte-by-byte attack against a forking worker-per-connection server\n");
+
+    // The reconnect loop, by hand: every probe is one connection served by a
+    // freshly forked worker.  Under SSP each worker inherits the parent's
+    // canary, so a response (instead of a reset) confirms a guessed byte.
+    let mut server = ForkingServer::new(VictimConfig::new(SchemeKind::Ssp, 0xD5A7));
+    let mut conn = server.connect();
+    let outcome = conn.send(b"GET / HTTP/1.1");
+    drop(conn);
+    println!(
+        "handshake: policy = {}, first connection {:?}, {} connection(s) served\n",
+        server.canary_policy(),
+        outcome,
+        server.connections_served()
+    );
 
     for (scheme, budget) in [
         (SchemeKind::Ssp, 5_000),
@@ -21,16 +37,18 @@ fn main() {
         let result = ByteByByteAttack::with_budget(budget).run(&mut server, geometry, scheme);
         if result.success {
             println!(
-                "{:<24} BROKEN  — canary recovered and control flow hijacked after {} requests",
+                "{:<24} BROKEN  — canary recovered and control flow hijacked after {} connections",
                 scheme.name(),
-                result.trials
+                server.connections_served()
             );
         } else {
             println!(
-                "{:<24} holds   — attack gave up after {} requests ({} workers crashed)",
+                "{:<24} holds   — attack gave up after {} connections ({} workers crashed, \
+                 canaries {})",
                 scheme.name(),
-                result.trials,
-                server.crashed_workers()
+                server.connections_served(),
+                server.crashed_workers(),
+                server.canary_policy()
             );
         }
     }

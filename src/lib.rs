@@ -16,7 +16,7 @@
 //! | [`core`] | `polycanary-core` | the canary schemes: SSP, RAF-SSP, DynaGuard, DCR, P-SSP, NT/LV/OWF |
 //! | [`compiler`] | `polycanary-compiler` | MiniC IR and the pass that emits scheme prologues/epilogues |
 //! | [`rewriter`] | `polycanary-rewriter` | SSP → P-SSP static binary instrumentation |
-//! | [`attacks`] | `polycanary-attacks` | byte-by-byte, exhaustive and canary-reuse attacks |
+//! | [`attacks`] | `polycanary-attacks` | forking-server victim, byte-by-byte / exhaustive / canary-reuse attacks, campaigns |
 //! | [`workloads`] | `polycanary-workloads` | SPEC-like, web-server and database workloads |
 //!
 //! # Quickstart

@@ -44,6 +44,7 @@ use polycanary_core::scheme::SchemeKind;
 use crate::byte_by_byte::ByteByByteAttack;
 use crate::exhaustive::ExhaustiveAttack;
 use crate::pool::JobPool;
+use crate::population::Population;
 use crate::reuse::CanaryReuseAttack;
 use crate::stats::{AttackResult, AttackSummary};
 use crate::victim::{Deployment, ForkingServer, VictimConfig};
@@ -347,10 +348,14 @@ impl std::fmt::Display for TrialStats {
 pub struct CampaignReport {
     /// Strategy name.
     pub attack: &'static str,
-    /// Scheme protecting every victim.
+    /// Scheme of the fleet's dominant (heaviest) [`Population`] member —
+    /// for uniform populations, the scheme protecting every victim.
     pub scheme: SchemeKind,
-    /// Deployment vehicle of every victim.
+    /// Deployment vehicle of the dominant population member.
     pub deployment: Deployment,
+    /// The victim fleet the campaign attacked; per-victim schemes of a
+    /// mixed fleet are in each run's [`AttackResult::scheme`].
+    pub population: Population,
     /// Per-seed runs, in the order the seeds were configured (not the order
     /// workers finished them), so reports are reproducible.  Under an
     /// adaptive [`StopRule`] this may be a prefix of the configured seeds.
@@ -498,6 +503,11 @@ impl CampaignReport {
             .field("attack", self.attack)
             .field("scheme", self.scheme.name())
             .field("deployment", self.deployment.label())
+            .field("population", self.population.label());
+        if !self.population.is_uniform() {
+            rec.push("population_mix", self.population.record());
+        }
+        let mut rec = rec
             .field("stop_rule", self.stop_rule.label())
             .field("configured_seeds", self.configured_seeds)
             .field("completed_seeds", self.runs.len())
@@ -523,8 +533,7 @@ impl CampaignReport {
 #[derive(Debug, Clone)]
 pub struct Campaign {
     attack: AttackKind,
-    scheme: SchemeKind,
-    deployment: Deployment,
+    population: Population,
     buffer_size: u32,
     seeds: Vec<u64>,
     workers: Option<usize>,
@@ -537,12 +546,20 @@ pub const DEFAULT_SEEDS: usize = 32;
 
 impl Campaign {
     /// A campaign of `attack` against compiler-deployed victims protected by
-    /// `scheme`, with [`DEFAULT_SEEDS`] seeds and one worker per CPU.
+    /// `scheme` (a uniform [`Population`]), with [`DEFAULT_SEEDS`] seeds and
+    /// one worker per CPU.
     pub fn new(attack: AttackKind, scheme: SchemeKind) -> Self {
+        Campaign::against(attack, Population::uniform(scheme))
+    }
+
+    /// A campaign of `attack` against an arbitrary victim fleet — a
+    /// uniform population reproduces the paper's tables, a mixed one
+    /// produces the in-between success rates that exercise the sequential
+    /// stop rules' indifference region.
+    pub fn against(attack: AttackKind, population: Population) -> Self {
         Campaign {
             attack,
-            scheme,
-            deployment: Deployment::default(),
+            population,
             buffer_size: 64,
             seeds: derive_seeds(0x00DD_5EED, DEFAULT_SEEDS),
             workers: None,
@@ -550,10 +567,18 @@ impl Campaign {
         }
     }
 
-    /// Selects the deployment vehicle of every victim.
+    /// Replaces the victim fleet.
+    #[must_use]
+    pub fn with_population(mut self, population: Population) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Selects the deployment vehicle of every victim (every population
+    /// member).
     #[must_use]
     pub fn with_deployment(mut self, deployment: Deployment) -> Self {
-        self.deployment = deployment;
+        self.population = self.population.with_deployment(deployment);
         self
     }
 
@@ -600,12 +625,19 @@ impl Campaign {
         &self.seeds
     }
 
+    /// The configured victim fleet.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
     /// The victim a given seed produces — exposed so experiments and tests
     /// can assert properties (e.g. the frame geometry) of exactly the
-    /// binaries the campaign attacks.
+    /// binaries the campaign attacks.  For mixed populations the seed also
+    /// selects the population member (see [`Population::member_for`]).
     pub fn victim_config(&self, seed: u64) -> VictimConfig {
-        VictimConfig::new(self.scheme, seed)
-            .with_deployment(self.deployment)
+        let member = self.population.member_for(seed);
+        VictimConfig::new(member.scheme, seed)
+            .with_deployment(member.deployment)
             .with_buffer_size(self.buffer_size)
     }
 
@@ -648,10 +680,12 @@ impl Campaign {
             }
         }
 
+        let dominant = *self.population.dominant();
         CampaignReport {
             attack: self.attack.name(),
-            scheme: self.scheme,
-            deployment: self.deployment,
+            scheme: dominant.scheme,
+            deployment: dominant.deployment,
+            population: self.population.clone(),
             runs,
             configured_seeds: self.seeds.len(),
             stop_rule: self.stop_rule,
@@ -944,6 +978,7 @@ mod tests {
             attack: "byte-by-byte",
             scheme: SchemeKind::Ssp,
             deployment: Deployment::Compiler,
+            population: Population::uniform(SchemeKind::Ssp),
             runs: dummy_runs(6, 2),
             configured_seeds: 16,
             stop_rule: lax,
@@ -981,6 +1016,54 @@ mod tests {
         let Value::Record(first) = &runs[0] else { panic!("runs are records") };
         assert_eq!(first.get("seed"), Some(&Value::UInt(report.runs[0].seed)));
         assert_eq!(first.get("requests"), Some(&Value::UInt(20)));
+    }
+
+    #[test]
+    fn mixed_population_campaign_is_non_degenerate_and_reproducible() {
+        let fleet = Population::mixed("half", [(1, SchemeKind::Ssp), (1, SchemeKind::Pssp)]);
+        let base = Campaign::against(AttackKind::ByteByByte { budget: 3_000 }, fleet.clone())
+            .with_seed_range(0x417C, 12);
+        let once = base.clone().run();
+        let twice = base.run();
+        assert_eq!(once.runs, twice.runs);
+        // A genuinely mixed fleet produces an in-between success rate.
+        assert!(once.successes() > 0 && once.successes() < once.campaigns(), "{once:?}");
+        assert_eq!(once.population, fleet);
+        // Per-run schemes reflect each seed's member draw.
+        for run in &once.runs {
+            assert_eq!(run.result.scheme, fleet.member_for(run.seed).scheme);
+            assert_eq!(
+                run.result.success,
+                run.result.scheme == SchemeKind::Ssp,
+                "SSP victims fall, P-SSP victims survive: {run:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_population_record_labels_the_fleet() {
+        use polycanary_core::record::Value;
+
+        let report = Campaign::against(
+            AttackKind::Exhaustive { budget: 20 },
+            Population::mixed("half", [(1, SchemeKind::Ssp), (1, SchemeKind::Pssp)]),
+        )
+        .with_seed_range(3, 4)
+        .run();
+        let rec = report.record();
+        assert_eq!(rec.get("population"), Some(&Value::Str("half".into())));
+        let Some(Value::Record(mix)) = rec.get("population_mix") else {
+            panic!("mixed campaigns export their member mix: {rec:?}")
+        };
+        let Some(Value::List(members)) = mix.get("members") else { panic!("members nest") };
+        assert_eq!(members.len(), 2);
+        // Uniform campaigns stay lean: label only, no mix record.
+        let uniform = Campaign::new(AttackKind::Exhaustive { budget: 20 }, SchemeKind::Pssp)
+            .with_seed_range(3, 2)
+            .run()
+            .record();
+        assert_eq!(uniform.get("population"), Some(&Value::Str("P-SSP".into())));
+        assert!(uniform.get("population_mix").is_none());
     }
 
     #[test]

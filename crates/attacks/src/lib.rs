@@ -20,6 +20,9 @@
 //!   P-SSP-OWF survives.
 //! * [`pool`] — the reusable parallel job pool (scoped worker threads over
 //!   an atomic work queue) every experiment fans out on.
+//! * [`population`] — victim fleets: uniform (every paper table) or
+//!   weighted mixes such as a 70 %-patched fleet, whose in-between success
+//!   rates exercise the stop rules' indifference region.
 //! * [`campaign`] — multi-seed campaigns fanning any of the above out over
 //!   the pool and aggregating success-rate and request-count statistics
 //!   (the statistically robust version of §VI-C), with optional adaptive
@@ -55,6 +58,7 @@ pub mod campaign;
 pub mod exhaustive;
 pub mod oracle;
 pub mod pool;
+pub mod population;
 pub mod reuse;
 pub mod server;
 pub mod stats;
@@ -68,6 +72,7 @@ pub use campaign::{
 pub use exhaustive::ExhaustiveAttack;
 pub use oracle::{OverflowOracle, RequestOutcome};
 pub use pool::JobPool;
+pub use population::{Population, PopulationMember};
 pub use reuse::CanaryReuseAttack;
 pub use server::{Connection, ForkingServer};
 pub use stats::{AttackResult, AttackSummary};

@@ -1,0 +1,284 @@
+//! Victim populations: the fleet a campaign attacks.
+//!
+//! The paper's tables campaign one attack against N victims that all run
+//! the *same* defence — unanimous populations whose success rate is 0 or 1.
+//! Real fleets are rarely unanimous: a partially rolled-out patch leaves,
+//! say, 70 % of the servers on P-SSP and 30 % on classic SSP, and the
+//! campaign's empirical success rate lands *between* the endpoints — right
+//! where the sequential stop rules' indifference region and error budgets
+//! actually matter.  A [`Population`] describes such a fleet as a weighted
+//! mix of [`PopulationMember`]s; every victim seed deterministically draws
+//! one member, so mixed campaigns stay bitwise reproducible and
+//! worker-count independent like uniform ones.
+//!
+//! # Example
+//!
+//! ```
+//! use polycanary_attacks::population::Population;
+//! use polycanary_core::scheme::SchemeKind;
+//!
+//! // A fleet where the P-SSP rollout reached 70 % of the servers.
+//! let fleet = Population::mixed("patched-70", [
+//!     (7, SchemeKind::Pssp),
+//!     (3, SchemeKind::Ssp),
+//! ]);
+//! assert!(!fleet.is_uniform());
+//! // The same seed always maps to the same member.
+//! assert_eq!(fleet.member_for(42).scheme, fleet.member_for(42).scheme);
+//! ```
+
+use polycanary_core::record::Record;
+use polycanary_core::scheme::SchemeKind;
+
+use crate::victim::Deployment;
+
+/// One slice of a [`Population`]: a defence configuration plus the weight
+/// of the fleet running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationMember {
+    /// Relative share of the fleet (weights need not sum to anything
+    /// particular; only ratios matter).
+    pub weight: u32,
+    /// The protection scheme of this slice's victims.
+    pub scheme: SchemeKind,
+    /// Deployment vehicle of this slice's victims.
+    pub deployment: Deployment,
+}
+
+impl PopulationMember {
+    /// The self-describing record form of this member.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("weight", self.weight)
+            .field("scheme", self.scheme.name())
+            .field("deployment", self.deployment.label())
+    }
+}
+
+/// A weighted victim fleet: every campaign seed deterministically draws one
+/// [`PopulationMember`] whose scheme/deployment builds that seed's victim.
+///
+/// Member selection hashes the victim *seed* (not its position in the seed
+/// list) together with a salt derived from the fleet's label and member
+/// mix, so the victim a seed produces is a pure function of (fleet, seed) —
+/// reports stay reproducible under re-ordered or truncated seed lists,
+/// different fleets sample their members independently even over the same
+/// seed list, and the empirical mix of a campaign converges on the
+/// configured weights as the seed count grows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    label: String,
+    members: Vec<PopulationMember>,
+    salt: u64,
+}
+
+impl Population {
+    /// The degenerate fleet every paper table uses: all victims run
+    /// `scheme` via the compiler deployment.
+    pub fn uniform(scheme: SchemeKind) -> Self {
+        Population::build(
+            scheme.name().to_string(),
+            vec![PopulationMember { weight: 1, scheme, deployment: Deployment::default() }],
+        )
+    }
+
+    /// A mixed fleet from `(weight, scheme)` parts, all compiler-deployed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no part has a positive weight — an unsampleable fleet is
+    /// a configuration bug, not a runtime condition.
+    pub fn mixed(
+        label: impl Into<String>,
+        parts: impl IntoIterator<Item = (u32, SchemeKind)>,
+    ) -> Self {
+        let members: Vec<PopulationMember> = parts
+            .into_iter()
+            .filter(|(weight, _)| *weight > 0)
+            .map(|(weight, scheme)| PopulationMember {
+                weight,
+                scheme,
+                deployment: Deployment::default(),
+            })
+            .collect();
+        assert!(!members.is_empty(), "a population needs at least one positively weighted member");
+        Population::build(label.into(), members)
+    }
+
+    /// Finalizes a fleet: the member-draw salt folds the label and the
+    /// member mix (FNV-1a), so two different fleets never share a ticket
+    /// sequence over the same seed list.
+    fn build(label: String, members: Vec<PopulationMember>) -> Self {
+        let mut salt = 0xCBF2_9CE4_8422_2325u64;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                salt = (salt ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        fold(label.as_bytes());
+        for member in &members {
+            fold(&member.weight.to_le_bytes());
+            fold(member.scheme.name().as_bytes());
+            fold(member.deployment.label().as_bytes());
+        }
+        Population { label, members, salt }
+    }
+
+    /// Display label of the fleet ("P-SSP" for uniform populations).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The configured members.
+    pub fn members(&self) -> &[PopulationMember] {
+        &self.members
+    }
+
+    /// Whether every victim runs the same configuration.
+    pub fn is_uniform(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// The heaviest member (first on ties) — the fleet's headline
+    /// configuration, used for a report's scalar `scheme` / `deployment`
+    /// fields.
+    pub fn dominant(&self) -> &PopulationMember {
+        self.members.iter().max_by_key(|m| m.weight).expect("populations are constructed non-empty")
+    }
+
+    /// Selects the deployment vehicle of **every** member (used by uniform
+    /// campaigns switching to the binary rewriter).  The result is a
+    /// different fleet, so its member-draw salt is recomputed.
+    #[must_use]
+    pub fn with_deployment(mut self, deployment: Deployment) -> Self {
+        for member in &mut self.members {
+            member.deployment = deployment;
+        }
+        Population::build(self.label, self.members)
+    }
+
+    /// The member the victim with `seed` draws: the fleet-salted seed is
+    /// hashed through a SplitMix64 finalizer and reduced against the
+    /// cumulative weights, so nearby seeds land on independent members,
+    /// different fleets draw independently over the same seed list, and
+    /// every (fleet, seed) draw is fixed forever.
+    pub fn member_for(&self, seed: u64) -> &PopulationMember {
+        let total: u64 = self.members.iter().map(|m| u64::from(m.weight)).sum();
+        let mut ticket = mix64(seed ^ self.salt) % total;
+        for member in &self.members {
+            let weight = u64::from(member.weight);
+            if ticket < weight {
+                return member;
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket < total weight by construction")
+    }
+
+    /// The self-describing record form of this fleet: label plus the
+    /// weighted member mix.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("label", self.label.as_str())
+            .field("members", self.members.iter().map(PopulationMember::record).collect::<Vec<_>>())
+    }
+}
+
+/// SplitMix64 finalizer: a cheap bijective scrambler whose output bits are
+/// individually well mixed, so `mix64(seed) % total_weight` is unbiased
+/// enough for fleet sampling even over structured seed sequences.
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::derive_seeds;
+
+    #[test]
+    fn uniform_population_always_draws_its_only_member() {
+        let pop = Population::uniform(SchemeKind::Pssp);
+        assert!(pop.is_uniform());
+        assert_eq!(pop.label(), "P-SSP");
+        assert_eq!(pop.dominant().scheme, SchemeKind::Pssp);
+        for seed in [0, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(pop.member_for(seed).scheme, SchemeKind::Pssp);
+        }
+    }
+
+    #[test]
+    fn member_draws_are_deterministic_in_the_seed() {
+        let pop = Population::mixed("mix", [(7, SchemeKind::Pssp), (3, SchemeKind::Ssp)]);
+        for seed in derive_seeds(0xF00, 64) {
+            assert_eq!(pop.member_for(seed), pop.member_for(seed));
+        }
+    }
+
+    #[test]
+    fn mixed_draws_approximate_the_configured_weights() {
+        let pop = Population::mixed("patched-70", [(7, SchemeKind::Pssp), (3, SchemeKind::Ssp)]);
+        let seeds = derive_seeds(0xA5A5, 1_000);
+        let patched =
+            seeds.iter().filter(|&&s| pop.member_for(s).scheme == SchemeKind::Pssp).count();
+        // 70 % ± a generous sampling margin over 1000 draws.
+        assert!((620..=780).contains(&patched), "patched share {patched}/1000");
+    }
+
+    #[test]
+    fn different_fleets_draw_independently_over_the_same_seeds() {
+        let a = Population::mixed("fleet-a", [(1, SchemeKind::Pssp), (1, SchemeKind::Ssp)]);
+        let b = Population::mixed("fleet-b", [(1, SchemeKind::Pssp), (1, SchemeKind::Ssp)]);
+        let seeds = derive_seeds(1, 64);
+        let draws =
+            |p: &Population| seeds.iter().map(|&s| p.member_for(s).scheme).collect::<Vec<_>>();
+        // Same mix, different identity: the salted tickets decorrelate.
+        assert_ne!(draws(&a), draws(&b));
+        // Same identity: the draw sequence is stable.
+        let a_again = Population::mixed("fleet-a", [(1, SchemeKind::Pssp), (1, SchemeKind::Ssp)]);
+        assert_eq!(draws(&a), draws(&a_again));
+    }
+
+    #[test]
+    fn zero_weight_members_are_never_drawn() {
+        let pop =
+            Population::mixed("effectively-uniform", [(0, SchemeKind::Ssp), (4, SchemeKind::Pssp)]);
+        assert!(pop.is_uniform());
+        assert_eq!(pop.member_for(99).scheme, SchemeKind::Pssp);
+    }
+
+    #[test]
+    #[should_panic(expected = "positively weighted")]
+    fn all_zero_weights_are_rejected() {
+        let _ = Population::mixed("empty", [(0, SchemeKind::Ssp)]);
+    }
+
+    #[test]
+    fn with_deployment_rewrites_every_member_and_the_salt() {
+        let compiler = Population::mixed("mix", [(1, SchemeKind::PsspBin32), (1, SchemeKind::Ssp)]);
+        let rewriter = compiler.clone().with_deployment(Deployment::BinaryRewriter);
+        assert!(rewriter.members().iter().all(|m| m.deployment == Deployment::BinaryRewriter));
+        // A deployment change makes a different fleet, so its draw sequence
+        // decorrelates from the original — the documented invariant that two
+        // different fleets never share a ticket sequence.
+        let seeds = derive_seeds(3, 64);
+        let draws =
+            |p: &Population| seeds.iter().map(|&s| p.member_for(s).scheme).collect::<Vec<_>>();
+        assert_ne!(draws(&compiler), draws(&rewriter));
+    }
+
+    #[test]
+    fn population_record_nests_the_member_mix() {
+        use polycanary_core::record::Value;
+
+        let rec = Population::mixed("half", [(1, SchemeKind::Pssp), (1, SchemeKind::Ssp)]).record();
+        assert_eq!(rec.get("label"), Some(&Value::Str("half".into())));
+        let Some(Value::List(members)) = rec.get("members") else { panic!("members: {rec:?}") };
+        assert_eq!(members.len(), 2);
+        let Value::Record(first) = &members[0] else { panic!("member records") };
+        assert_eq!(first.get("weight"), Some(&Value::UInt(1)));
+    }
+}

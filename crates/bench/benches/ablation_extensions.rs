@@ -16,7 +16,8 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(1500));
 
-    group.bench_function("full_ablation", |b| b.iter(|| exp::run_ablation(7)));
+    let ctx = exp::ExperimentCtx::new(7);
+    group.bench_function("full_ablation", |b| b.iter(|| exp::run_ablation(&ctx)));
 
     for scheme in [SchemeKind::Pssp, SchemeKind::PsspNt, SchemeKind::PsspLv, SchemeKind::PsspOwf] {
         group.bench_with_input(

@@ -17,7 +17,8 @@ fn bench(c: &mut Criterion) {
 
     // The headline series: print-quality data comes from the harness; here we
     // measure the cost of producing a 6-program slice of the figure.
-    group.bench_function("six_program_sweep", |b| b.iter(|| exp::run_fig5(7, 6)));
+    let ctx = exp::ExperimentCtx::new(7).with_spec_programs(6);
+    group.bench_function("six_program_sweep", |b| b.iter(|| exp::run_fig5(&ctx)));
 
     // Per-build execution of one call-heavy and one compute-heavy program.
     for program in [spec_suite()[2], spec_suite()[26]] {

@@ -18,7 +18,8 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(1500));
 
-    group.bench_function("full_comparison", |b| b.iter(|| exp::run_table1(7, 2)));
+    let ctx = exp::ExperimentCtx::new(7).with_spec_programs(2);
+    group.bench_function("full_comparison", |b| b.iter(|| exp::run_table1(&ctx)));
 
     for scheme in [
         SchemeKind::Ssp,

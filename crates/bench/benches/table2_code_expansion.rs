@@ -11,7 +11,8 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(1500));
-    group.bench_function("code_expansion_8_programs", |b| b.iter(|| exp::run_table2(8)));
+    let ctx = exp::ExperimentCtx::new(7).with_spec_programs(8);
+    group.bench_function("code_expansion_8_programs", |b| b.iter(|| exp::run_table2(&ctx)));
     group.finish();
 }
 

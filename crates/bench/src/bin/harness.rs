@@ -1,33 +1,52 @@
-//! Command-line harness printing every table and figure of the paper.
+//! Command-line harness printing every registered scenario of the engine.
 //!
 //! ```text
 //! cargo run -p polycanary-bench --bin harness -- all
 //! cargo run -p polycanary-bench --bin harness -- table1 fig5 table5
-//! cargo run -p polycanary-bench --bin harness -- --seed 7 effectiveness
+//! cargo run -p polycanary-bench --bin harness -- --seed 7 --workers 4 effectiveness
 //! cargo run -p polycanary-bench --bin harness -- --format json --out results all
+//! cargo run -p polycanary-bench --bin harness -- --quick --timings BENCH_scenarios.json all
 //! ```
 //!
-//! Experiments can be rendered as plain text (default) or exported as
-//! self-describing JSON/CSV records via `--format json|csv`; `--out DIR`
-//! writes one file per experiment instead of printing to stdout.
+//! Everything scenario-specific — the usage text, name validation, dispatch
+//! and the export loop — derives from the scenario registry
+//! (`polycanary_bench::experiments::registry`); this file knows no
+//! experiment by name.  Scenarios render as plain text (default), as
+//! self-describing JSON envelopes (schema version, scenario name, full
+//! context, records) or as bare CSV rows via `--format json|csv`; every
+//! JSON payload is re-parsed through the workspace JSON parser before it
+//! is emitted, so a malformed export can never leave the process.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
-use polycanary_bench::experiments as exp;
-use polycanary_core::record::{records_to_csv, Record};
-use polycanary_core::scheme::SchemeKind;
+use polycanary_bench::experiments::{registry, Experiment, ExperimentCtx, ExportFormat};
+use polycanary_core::record::{
+    export_envelope, records_to_csv, records_to_json, Record, SCHEMA_VERSION,
+};
 
 fn print_usage() {
     eprintln!(
-        "usage: harness [--seed N] [--quick] [--adaptive] [--format text|json|csv] \
-         [--out DIR] <experiment>...\n\
-         experiments: table1 fig5 table2 table3 table4 table5 effectiveness \
-         server-attack theorem1 ablation all\n\
-         (`attack` is accepted as an alias for `effectiveness`)\n\
-         --quick     smaller workloads and campaigns (CI-sized)\n\
-         --adaptive  stop effectiveness campaigns once their verdict settles\n\
-         --format    text (default) or machine-readable json / csv records\n\
-         --out DIR   write one <experiment>.<ext> file per experiment to DIR"
+        "usage: harness [--seed N] [--quick] [--adaptive] [--workers N] \
+         [--format text|json|csv] [--out DIR] [--timings FILE] [--list] <scenario>..."
+    );
+    eprintln!("scenarios (or `all`):");
+    for experiment in registry() {
+        let aliases = if experiment.aliases().is_empty() {
+            String::new()
+        } else {
+            format!(" (alias: {})", experiment.aliases().join(", "))
+        };
+        eprintln!("  {:<14} {}{aliases}", experiment.name(), experiment.description());
+    }
+    eprintln!(
+        "--quick       smaller workloads and campaigns (CI-sized)\n\
+         --adaptive    stop single-rule campaigns once their verdict settles\n\
+         --workers N   cap the worker-thread budget (results never change)\n\
+         --format      text (default), json (self-describing envelopes) or csv (bare records)\n\
+         --out DIR     write one <scenario>.<ext> file per scenario to DIR\n\
+         --timings FILE  also write per-scenario wall times as JSON records\n\
+         --list        print `name<TAB>title` per scenario and exit"
     );
 }
 
@@ -45,33 +64,6 @@ fn runtime_error(message: &str) -> ! {
     std::process::exit(1);
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Text,
-    Json,
-    Csv,
-}
-
-impl Format {
-    fn extension(&self) -> &'static str {
-        match self {
-            Format::Text => "txt",
-            Format::Json => "json",
-            Format::Csv => "csv",
-        }
-    }
-}
-
-/// One catalogue entry: the single source of truth for an experiment's
-/// name, its human title and how to run it.  The argument validator, the
-/// selection logic and the output loop all derive from this list, so a
-/// name cannot exist in one place and be missing from another.
-struct Experiment {
-    name: &'static str,
-    title: &'static str,
-    run: Box<dyn Fn() -> (String, Vec<Record>)>,
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -79,11 +71,9 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut seed = 0x00DD_5EEDu64;
-    let mut quick = false;
-    let mut adaptive = false;
-    let mut format = Format::Text;
+    let mut ctx = ExperimentCtx::new(0x00DD_5EED);
     let mut out_dir: Option<PathBuf> = None;
+    let mut timings_path: Option<PathBuf> = None;
     let mut selected = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -92,20 +82,29 @@ fn main() {
                 let Some(value) = iter.next() else {
                     usage_error("--seed requires a value");
                 };
-                seed = value
+                ctx.seed = value
                     .parse()
                     .unwrap_or_else(|_| usage_error(&format!("invalid --seed value `{value}`")));
             }
-            "--quick" => quick = true,
-            "--adaptive" => adaptive = true,
+            "--quick" => ctx = ctx.quick(),
+            "--adaptive" => ctx = ctx.adaptive(),
+            "--workers" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--workers requires a value");
+                };
+                let workers: usize = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --workers value `{value}`")));
+                ctx = ctx.with_workers(workers.max(1));
+            }
             "--format" => {
                 let Some(value) = iter.next() else {
                     usage_error("--format requires a value (text, json or csv)");
                 };
-                format = match value.as_str() {
-                    "text" => Format::Text,
-                    "json" => Format::Json,
-                    "csv" => Format::Csv,
+                ctx.format = match value.as_str() {
+                    "text" => ExportFormat::Text,
+                    "json" => ExportFormat::Json,
+                    "csv" => ExportFormat::Csv,
                     other => usage_error(&format!(
                         "invalid --format value `{other}` (expected text, json or csv)"
                     )),
@@ -116,6 +115,18 @@ fn main() {
                     usage_error("--out requires a directory path");
                 };
                 out_dir = Some(PathBuf::from(value));
+            }
+            "--timings" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--timings requires a file path");
+                };
+                timings_path = Some(PathBuf::from(value));
+            }
+            "--list" => {
+                for experiment in registry() {
+                    println!("{}\t{}", experiment.name(), experiment.title());
+                }
+                return;
             }
             "--help" | "-h" => {
                 print_usage();
@@ -129,159 +140,34 @@ fn main() {
     }
 
     if selected.is_empty() {
-        usage_error("no experiment selected");
+        usage_error("no scenario selected");
     }
 
-    let spec_programs = if quick { 4 } else { 28 };
-    let requests = if quick { 50 } else { 500 };
-    let queries = if quick { 5 } else { 50 };
-    let byte_budget = if quick { 4_000 } else { 20_000 };
-    let campaign_seeds = if quick { 8 } else { exp::EFFECTIVENESS_SEEDS };
-    let stop_rule = if adaptive {
-        polycanary_attacks::campaign::StopRule::settled()
-    } else {
-        polycanary_attacks::campaign::StopRule::Exhaustive
+    let catalogue = registry();
+
+    // Resolve aliases and reject unknown scenario names outright — a typo
+    // must not silently drop one table from an otherwise valid selection.
+    let resolve = |name: &str| -> Option<&'static str> {
+        catalogue.iter().find(|e| e.name() == name || e.aliases().contains(&name)).map(|e| e.name())
     };
-
-    let catalogue: Vec<Experiment> = vec![
-        Experiment {
-            name: "table1",
-            title: "Table I: comparison of brute-force-attack defence tools",
-            run: Box::new(move || {
-                let rows = exp::run_table1(seed, spec_programs.min(6));
-                (exp::format_table1(&rows), rows.iter().map(exp::Table1Row::record).collect())
-            }),
-        },
-        Experiment {
-            name: "fig5",
-            title: "Figure 5: runtime overhead of P-SSP vs native (SPEC-like suite)",
-            run: Box::new(move || {
-                let rows = exp::run_fig5(seed, spec_programs);
-                (exp::format_fig5(&rows), rows.iter().map(exp::Fig5Row::record).collect())
-            }),
-        },
-        Experiment {
-            name: "table2",
-            title: "Table II: code expansion rate",
-            run: Box::new(move || {
-                let result = exp::run_table2(spec_programs);
-                (exp::format_table2(&result), vec![result.record()])
-            }),
-        },
-        Experiment {
-            name: "table3",
-            title: "Table III: web-server mean response time",
-            run: Box::new(move || {
-                let rows = exp::run_table3(seed, requests);
-                (exp::format_table3(&rows), rows.iter().map(exp::Table3Row::record).collect())
-            }),
-        },
-        Experiment {
-            name: "table4",
-            title: "Table IV: database performance",
-            run: Box::new(move || {
-                let rows = exp::run_table4(seed, queries);
-                (exp::format_table4(&rows), rows.iter().map(exp::Table4Row::record).collect())
-            }),
-        },
-        Experiment {
-            name: "table5",
-            title: "Table V: prologue/epilogue CPU cycles",
-            run: Box::new(move || {
-                let entries = exp::run_table5(seed);
-                (
-                    exp::format_table5(&entries),
-                    entries.iter().map(exp::Table5Entry::record).collect(),
-                )
-            }),
-        },
-        Experiment {
-            name: "effectiveness",
-            title: "\u{a7}VI-C: attack effectiveness (byte-by-byte, exhaustive, reuse)",
-            run: Box::new(move || {
-                let schemes = [
-                    SchemeKind::Ssp,
-                    SchemeKind::Pssp,
-                    SchemeKind::PsspNt,
-                    SchemeKind::PsspOwf,
-                    SchemeKind::PsspBin32,
-                ];
-                let rows = exp::run_effectiveness_with(
-                    seed,
-                    &schemes,
-                    byte_budget,
-                    campaign_seeds,
-                    stop_rule,
-                );
-                (
-                    exp::format_effectiveness(&rows),
-                    rows.iter().map(exp::EffectivenessRow::record).collect(),
-                )
-            }),
-        },
-        Experiment {
-            name: "server-attack",
-            title: "Forking-server attack: SPRT vs Wilson vs exhaustive stop rules (\u{a7}II)",
-            run: Box::new(move || {
-                let schemes = [
-                    SchemeKind::Ssp,
-                    SchemeKind::Pssp,
-                    SchemeKind::PsspNt,
-                    SchemeKind::PsspOwf,
-                    SchemeKind::PsspBin32,
-                ];
-                let rows = exp::run_server_attack(seed, &schemes, byte_budget, campaign_seeds);
-                (
-                    exp::format_server_attack(&rows),
-                    rows.iter().map(exp::ServerAttackRow::record).collect(),
-                )
-            }),
-        },
-        Experiment {
-            name: "theorem1",
-            title: "Theorem 1: independence of exposed canaries",
-            run: Box::new(move || {
-                let result = exp::run_theorem1(seed, 5_000);
-                (exp::format_theorem1(&result), vec![result.record()])
-            }),
-        },
-        Experiment {
-            name: "ablation",
-            title: "Extensions ablation (P-SSP vs NT / LV / OWF)",
-            run: Box::new(move || {
-                let rows = exp::run_ablation(seed);
-                (exp::format_ablation(&rows), rows.iter().map(exp::AblationRow::record).collect())
-            }),
-        },
-    ];
-
-    // Reject unknown experiment names outright — a typo must not silently
-    // drop one table from an otherwise valid selection.
-    fn resolve(name: &str) -> &str {
-        if name == "attack" {
-            "effectiveness"
-        } else {
-            name
-        }
-    }
     let unknown: Vec<&str> = selected
         .iter()
-        .map(|e| resolve(e))
-        .filter(|e| *e != "all" && !catalogue.iter().any(|x| x.name == *e))
+        .map(String::as_str)
+        .filter(|name| *name != "all" && resolve(name).is_none())
         .collect();
     if !unknown.is_empty() {
-        usage_error(&format!("unknown experiment(s): {}", unknown.join(", ")));
+        usage_error(&format!("unknown scenario(s): {}", unknown.join(", ")));
     }
 
     let all = selected.iter().any(|e| e == "all");
-    let wants = |name: &str| all || selected.iter().any(|e| resolve(e) == name);
+    let wants = |name: &str| all || selected.iter().any(|e| resolve(e) == Some(name));
 
     // A CSV stream is only parseable with one header row, so CSV on stdout
-    // is restricted to a single experiment; multi-experiment CSV sweeps go
-    // through --out (one file per experiment).
-    let selection_count = catalogue.iter().filter(|e| wants(e.name)).count();
-    if format == Format::Csv && out_dir.is_none() && selection_count > 1 {
-        usage_error("--format csv with multiple experiments requires --out DIR");
+    // is restricted to a single scenario; multi-scenario CSV sweeps go
+    // through --out (one file per scenario).
+    let selection_count = catalogue.iter().filter(|e| wants(e.name())).count();
+    if ctx.format == ExportFormat::Csv && out_dir.is_none() && selection_count > 1 {
+        usage_error("--format csv with multiple scenarios requires --out DIR");
     }
 
     if let Some(dir) = &out_dir {
@@ -290,44 +176,73 @@ fn main() {
         });
     }
 
-    // Run and emit each selected experiment; stdout JSON is collected into
+    // Run and emit each selected scenario; stdout JSON is collected into
     // one parseable array over the whole selection.
     let mut json_stream: Vec<String> = Vec::new();
-    for experiment in catalogue.iter().filter(|e| wants(e.name)) {
-        let (text, records) = (experiment.run)();
-        let body = match format {
-            Format::Text => format!("== {} ==\n{text}", experiment.title),
-            Format::Json => experiment_json(experiment.name, seed, quick, &records),
-            Format::Csv => records_to_csv(&records),
+    let mut timings: Vec<Record> = Vec::new();
+    for experiment in catalogue.iter().filter(|e| wants(e.name())) {
+        let started = Instant::now();
+        let output = experiment.run(&ctx);
+        timings.push(scenario_timing(experiment.as_ref(), &ctx, started, output.records.len()));
+        let body = match ctx.format {
+            ExportFormat::Text => format!("== {} ==\n{}", experiment.title(), output.text),
+            ExportFormat::Json => {
+                verified_json(export_envelope(experiment.name(), ctx.record(), output.records))
+            }
+            ExportFormat::Csv => records_to_csv(&output.records),
         };
         match &out_dir {
             Some(dir) => {
-                let path = dir.join(format!("{}.{}", experiment.name, format.extension()));
+                let path = dir.join(format!("{}.{}", experiment.name(), ctx.format.extension()));
                 std::fs::write(&path, body.as_bytes()).unwrap_or_else(|err| {
                     runtime_error(&format!("cannot write {}: {err}", path.display()));
                 });
                 eprintln!("wrote {}", path.display());
             }
-            None => match format {
-                Format::Text => println!("{body}"),
-                Format::Json => json_stream.push(body),
-                // Single experiment (enforced above): bare, parseable CSV.
-                Format::Csv => print!("{body}"),
+            None => match ctx.format {
+                ExportFormat::Text => println!("{body}"),
+                ExportFormat::Json => json_stream.push(body),
+                // Single scenario (enforced above): bare, parseable CSV.
+                ExportFormat::Csv => print!("{body}"),
             },
         }
     }
-    if out_dir.is_none() && format == Format::Json {
+    if out_dir.is_none() && ctx.format == ExportFormat::Json {
         println!("[{}]", json_stream.join(","));
+    }
+
+    if let Some(path) = timings_path {
+        let body = records_to_json(&timings);
+        std::fs::write(&path, body.as_bytes()).unwrap_or_else(|err| {
+            runtime_error(&format!("cannot write {}: {err}", path.display()));
+        });
+        eprintln!("wrote {}", path.display());
     }
 }
 
-/// One experiment's export payload: a self-describing object so every file
-/// (or stream entry) records what produced it.
-fn experiment_json(name: &str, seed: u64, quick: bool, records: &[Record]) -> String {
+/// Serializes `envelope` and re-parses it through the workspace JSON parser
+/// before handing it out — exports are verified, never trusted.
+fn verified_json(envelope: Record) -> String {
+    let body = envelope.to_json();
+    if let Err(err) = Record::from_json(&body) {
+        runtime_error(&format!("export failed its own re-parse: {err}"));
+    }
+    body
+}
+
+/// One scenario's wall-time record for `--timings` — the perf-trajectory
+/// baseline later runs diff against.
+fn scenario_timing(
+    experiment: &dyn Experiment,
+    ctx: &ExperimentCtx,
+    started: Instant,
+    records: usize,
+) -> Record {
     Record::new()
-        .field("experiment", name)
-        .field("seed", seed)
-        .field("quick", quick)
-        .field("records", records.to_vec())
-        .to_json()
+        .field("schema_version", SCHEMA_VERSION)
+        .field("scenario", experiment.name())
+        .field("wall_ms", started.elapsed().as_secs_f64() * 1_000.0)
+        .field("records", records)
+        .field("seed", ctx.seed)
+        .field("quick", ctx.quick)
 }

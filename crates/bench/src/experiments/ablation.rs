@@ -1,0 +1,127 @@
+//! Ablation over the extensions (§IV / §VI-B).
+
+use std::fmt::Write as _;
+
+use polycanary_core::analysis::attack_effort;
+use polycanary_core::record::Record;
+use polycanary_core::scheme::SchemeKind;
+
+use super::{canary_handling_cycles, Experiment, ExperimentCtx, ScenarioOutput};
+
+/// The ablation scenario: cost and security trade-offs of the extensions.
+pub struct Ablation;
+
+impl Experiment for Ablation {
+    fn name(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extensions ablation (P-SSP vs NT / LV / OWF)"
+    }
+
+    fn description(&self) -> &'static str {
+        "Per-call cycles, analytical attack effort and deployment \
+         requirements of P-SSP and its extensions"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        let rows = run_ablation(ctx);
+        ScenarioOutput::new(format_ablation(&rows), rows.iter().map(AblationRow::record).collect())
+    }
+}
+
+/// One row of the extensions ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// The scheme.
+    pub scheme: SchemeKind,
+    /// Per-call canary handling cost in cycles.
+    pub per_call_cycles: u64,
+    /// Expected byte-by-byte trials from the analytical model.
+    pub analytical_byte_by_byte_trials: u64,
+    /// Whether the scheme needs TLS/fork changes to deploy.
+    pub needs_runtime_changes: bool,
+    /// Whether the scheme resists the canary-reuse (disclosure) attack.
+    pub exposure_resilient: bool,
+}
+
+impl AblationRow {
+    /// The self-describing record form of this row, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("scheme", self.scheme.name())
+            .field("per_call_cycles", self.per_call_cycles)
+            .field("analytical_byte_by_byte_trials", self.analytical_byte_by_byte_trials)
+            .field("needs_runtime_changes", self.needs_runtime_changes)
+            .field("exposure_resilient", self.exposure_resilient)
+    }
+}
+
+/// Runs the ablation over P-SSP and its three extensions.  Scheme rows are
+/// independent parallel jobs on the shared pool.
+pub fn run_ablation(ctx: &ExperimentCtx) -> Vec<AblationRow> {
+    let seed = ctx.seed;
+    let schemes = [SchemeKind::Pssp, SchemeKind::PsspNt, SchemeKind::PsspLv, SchemeKind::PsspOwf];
+    ctx.pool().run(&schemes, |_, &scheme| {
+        let props = scheme.scheme().properties();
+        AblationRow {
+            scheme,
+            per_call_cycles: canary_handling_cycles(scheme, 0, seed),
+            analytical_byte_by_byte_trials: attack_effort(&props).byte_by_byte_trials,
+            needs_runtime_changes: props.modifies_tls_layout,
+            exposure_resilient: props.exposure_resilient,
+        }
+    })
+}
+
+/// Renders the ablation.
+pub fn format_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>16} {:>24} {:>16} {:>20}",
+        "Scheme", "cycles/call", "byte-by-byte trials", "runtime changes", "exposure resilient"
+    );
+    for row in rows {
+        let trials = if row.analytical_byte_by_byte_trials == u64::MAX {
+            ">= 2^63".to_string()
+        } else {
+            row.analytical_byte_by_byte_trials.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>16} {:>24} {:>16} {:>20}",
+            row.scheme.name(),
+            row.per_call_cycles,
+            trials,
+            if row.needs_runtime_changes { "yes" } else { "no" },
+            if row.exposure_resilient { "yes" } else { "no" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_covers_the_three_extensions() {
+        let rows = run_ablation(&ExperimentCtx::new(3));
+        assert_eq!(rows.len(), 4);
+        let owf = rows.iter().find(|r| r.scheme == SchemeKind::PsspOwf).unwrap();
+        assert!(owf.exposure_resilient);
+        let nt = rows.iter().find(|r| r.scheme == SchemeKind::PsspNt).unwrap();
+        assert!(!nt.needs_runtime_changes);
+        assert!(nt.per_call_cycles > rows[0].per_call_cycles);
+        assert!(format_ablation(&rows).contains("cycles/call"));
+    }
+
+    #[test]
+    fn ablation_rows_are_worker_count_independent() {
+        let once = run_ablation(&ExperimentCtx::new(3).with_workers(1));
+        let twice = run_ablation(&ExperimentCtx::new(3).with_workers(8));
+        assert_eq!(once, twice);
+    }
+}

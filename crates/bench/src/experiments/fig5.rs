@@ -1,0 +1,113 @@
+//! Figure 5 — SPEC-like runtime overhead.
+
+use std::fmt::Write as _;
+
+use polycanary_core::record::Record;
+use polycanary_core::scheme::SchemeKind;
+use polycanary_rewriter::LinkMode;
+use polycanary_workloads::build::Build;
+use polycanary_workloads::spec::{mean, spec_suite, SpecProgram};
+
+use super::{Experiment, ExperimentCtx, ScenarioOutput};
+
+/// The Figure 5 scenario: per-program compiler vs instrumentation overhead.
+pub struct Fig5;
+
+impl Experiment for Fig5 {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 5: runtime overhead of P-SSP vs native (SPEC-like suite)"
+    }
+
+    fn description(&self) -> &'static str {
+        "Per-program runtime overhead of compiler and instrumentation P-SSP \
+         over native"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        let rows = run_fig5(ctx);
+        ScenarioOutput::new(format_fig5(&rows), rows.iter().map(Fig5Row::record).collect())
+    }
+}
+
+/// One bar group of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Benchmark program name.
+    pub program: &'static str,
+    /// Compiler-based P-SSP overhead over native, percent.
+    pub compiler_percent: f64,
+    /// Instrumentation-based P-SSP overhead over native, percent.
+    pub instrumentation_percent: f64,
+}
+
+impl Fig5Row {
+    /// The self-describing record form of this row, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("program", self.program)
+            .field("compiler_percent", self.compiler_percent)
+            .field("instrumentation_percent", self.instrumentation_percent)
+    }
+}
+
+/// Runs the Figure 5 sweep over the first [`ExperimentCtx::spec_programs`]
+/// SPEC-like programs (28 for the full figure).  Each program is an
+/// independent parallel job on the shared pool.
+pub fn run_fig5(ctx: &ExperimentCtx) -> Vec<Fig5Row> {
+    let seed = ctx.seed;
+    let suite: Vec<SpecProgram> = spec_suite().into_iter().take(ctx.spec_programs.max(1)).collect();
+    ctx.pool().run(&suite, |_, p| Fig5Row {
+        program: p.name,
+        compiler_percent: p.overhead_percent(Build::Compiler(SchemeKind::Pssp), seed),
+        instrumentation_percent: p.overhead_percent(Build::BinaryRewriter(LinkMode::Dynamic), seed),
+    })
+}
+
+/// Renders Figure 5 (as a table of the two series).
+pub fn format_fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<18} {:>14} {:>20}", "Program", "Compiler (%)", "Instrumentation (%)");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14.3} {:>20.3}",
+            row.program, row.compiler_percent, row.instrumentation_percent
+        );
+    }
+    let compiler_mean = mean(&rows.iter().map(|r| r.compiler_percent).collect::<Vec<_>>());
+    let instr_mean = mean(&rows.iter().map(|r| r.instrumentation_percent).collect::<Vec<_>>());
+    let _ = writeln!(out, "{:<18} {:>14.3} {:>20.3}", "average", compiler_mean, instr_mean);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_overheads_are_small_and_ordered() {
+        let rows = run_fig5(&ExperimentCtx::new(5).with_spec_programs(4));
+        assert_eq!(rows.len(), 4);
+        let compiler = mean(&rows.iter().map(|r| r.compiler_percent).collect::<Vec<_>>());
+        let instr = mean(&rows.iter().map(|r| r.instrumentation_percent).collect::<Vec<_>>());
+        assert!(compiler > 0.0 && compiler < 3.0, "compiler mean {compiler}");
+        assert!(instr > compiler, "instrumentation {instr} vs compiler {compiler}");
+        assert!(format_fig5(&rows).contains("average"));
+    }
+
+    #[test]
+    fn fig5_records_are_self_describing() {
+        use polycanary_core::record::{records_to_csv, records_to_json};
+
+        let rows = run_fig5(&ExperimentCtx::new(5).with_spec_programs(2));
+        let records: Vec<Record> = rows.iter().map(Fig5Row::record).collect();
+        let json = records_to_json(&records);
+        assert!(json.starts_with('[') && json.contains("\"program\""));
+        let csv = records_to_csv(&records);
+        assert!(csv.starts_with("program,compiler_percent,instrumentation_percent\n"));
+    }
+}

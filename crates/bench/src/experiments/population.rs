@@ -1,0 +1,186 @@
+//! Mixed-population campaigns: partially patched fleets (beyond the paper).
+//!
+//! Every paper table campaigns a *unanimous* fleet, whose empirical success
+//! rate is 0 or 1 — the easiest case for any stop rule.  This scenario
+//! attacks weighted mixes of patched (P-SSP) and static-canary (SSP)
+//! servers, producing in-between success rates that genuinely exercise the
+//! sequential rules: SPRT's 0.2/0.8 indifference region, its α/β error
+//! budget, and the exhaustive Wilson test's inconclusive band around 1/2.
+
+use std::fmt::Write as _;
+
+use polycanary_attacks::campaign::{AttackKind, Campaign};
+use polycanary_attacks::population::Population;
+use polycanary_core::record::Record;
+use polycanary_core::scheme::SchemeKind;
+
+use super::{Experiment, ExperimentCtx, ScenarioOutput, StopRuleComparison};
+
+/// The mixed-population scenario.
+pub struct MixedPopulation;
+
+impl Experiment for MixedPopulation {
+    fn name(&self) -> &'static str {
+        "population"
+    }
+
+    fn title(&self) -> &'static str {
+        "Mixed victim populations: partially patched fleets vs the stop rules"
+    }
+
+    fn description(&self) -> &'static str {
+        "Byte-by-byte campaigns against partially patched fleets (mixed \
+         P-SSP/SSP), comparing SPRT, Wilson and exhaustive verdicts"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        let rows = run_population(ctx);
+        ScenarioOutput::new(
+            format_population(&rows),
+            rows.iter().map(PopulationRow::record).collect(),
+        )
+    }
+}
+
+/// The fleets the registered scenario campaigns against, from almost-fully
+/// patched (attack mostly fails) through an even split (maximally
+/// ambiguous) to mostly static (attack mostly succeeds).
+pub fn population_fleets() -> Vec<Population> {
+    vec![
+        Population::mixed("patched-90/10", [(9, SchemeKind::Pssp), (1, SchemeKind::Ssp)]),
+        Population::mixed("patched-70/30", [(7, SchemeKind::Pssp), (3, SchemeKind::Ssp)]),
+        Population::mixed("half-half-50/50", [(1, SchemeKind::Pssp), (1, SchemeKind::Ssp)]),
+        Population::mixed("static-70/30", [(3, SchemeKind::Pssp), (7, SchemeKind::Ssp)]),
+    ]
+}
+
+/// One row of the mixed-population experiment: a fleet and the byte-by-byte
+/// campaign against it under all three stop rules.
+#[derive(Debug, Clone)]
+pub struct PopulationRow {
+    /// The victim fleet.
+    pub population: Population,
+    /// The byte-by-byte attack under the three stop rules.
+    pub byte_by_byte: StopRuleComparison,
+}
+
+impl PopulationRow {
+    /// Empirical success rate of the full (exhaustive-rule) campaign — the
+    /// ground truth the sequential rules approximate.
+    pub fn exhaustive_rate(&self) -> f64 {
+        self.byte_by_byte.exhaustive.success_rate()
+    }
+
+    /// The self-describing record form of this row, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("population", self.population.label())
+            .field("population_mix", self.population.record())
+            .field("exhaustive_success_rate", self.exhaustive_rate())
+            .field("byte_by_byte", self.byte_by_byte.record())
+    }
+}
+
+/// Runs the mixed-population experiment: every fleet in
+/// [`population_fleets`] is campaigned with the byte-by-byte attack over
+/// [`ExperimentCtx::campaign_seeds`] victim seeds under all three stop
+/// rules.  Fleet rows fan out over the shared pool; every cell is
+/// deterministic in the context and independent of the worker count.
+pub fn run_population(ctx: &ExperimentCtx) -> Vec<PopulationRow> {
+    let fleets = population_fleets();
+    // A unanimous cell is characterized by any handful of victims; a mixed
+    // fleet needs enough independent draws for its empirical rate to
+    // resemble the configured weights, so this scenario doubles the
+    // configured campaign width.
+    let (seed, seeds) = (ctx.seed, ctx.campaign_seeds.max(1) * 2);
+    let byte_budget = ctx.byte_budget;
+    let pool = ctx.pool();
+    let campaign_workers = pool.nested_workers(fleets.len());
+    pool.run(&fleets, |_, fleet| PopulationRow {
+        population: fleet.clone(),
+        byte_by_byte: StopRuleComparison::run(
+            &Campaign::against(AttackKind::ByteByByte { budget: byte_budget }, fleet.clone())
+                .with_seed_range(seed, seeds)
+                .with_workers(campaign_workers),
+        ),
+    })
+}
+
+/// Renders the mixed-population experiment: per fleet, the empirical rate
+/// and the per-rule `verdict victims/connections` cells.
+pub fn format_population(rows: &[PopulationRow]) -> String {
+    let mut out = String::new();
+    let seeds = rows.first().map(|r| r.byte_by_byte.exhaustive.configured_seeds).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "byte-by-byte campaigns against mixed fleets over {seeds} victim seeds; \
+         cells are `verdict victims/connections` under sprt | wilson | exhaustive"
+    );
+    let _ = writeln!(out, "{:<18} {:>10} {:<64}", "Fleet", "rate", "byte-by-byte");
+    for row in rows {
+        let cmp = &row.byte_by_byte;
+        let cells = format!(
+            "{} | {} | {}{}",
+            StopRuleComparison::cell(&cmp.sprt),
+            StopRuleComparison::cell(&cmp.wilson),
+            StopRuleComparison::cell(&cmp.exhaustive),
+            if cmp.verdicts_agree() { "" } else { "  (sequential rules differ)" }
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10.2} {:<64}",
+            row.population.label(),
+            row.exhaustive_rate(),
+            cells
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_rows_cover_the_configured_fleets() {
+        let rows =
+            run_population(&ExperimentCtx::new(7).with_byte_budget(2_600).with_campaign_seeds(6));
+        assert_eq!(rows.len(), population_fleets().len());
+        for row in &rows {
+            assert!(!row.population.is_uniform(), "{}", row.population.label());
+            // Mixed fleets run twice the configured campaign width.
+            assert_eq!(row.byte_by_byte.exhaustive.campaigns(), 12);
+        }
+        let rendered = format_population(&rows);
+        assert!(rendered.contains("half-half-50/50"), "{rendered}");
+        assert!(rendered.contains("12 victim seeds"), "{rendered}");
+    }
+
+    #[test]
+    fn population_rows_are_worker_count_independent() {
+        let ctx = ExperimentCtx::new(5).with_byte_budget(2_600).with_campaign_seeds(5);
+        let once = run_population(&ctx.clone().with_workers(1));
+        let twice = run_population(&ctx.with_workers(8));
+        assert_eq!(once.len(), twice.len());
+        for (a, b) in once.iter().zip(&twice) {
+            assert_eq!(a.byte_by_byte.sprt.runs, b.byte_by_byte.sprt.runs);
+            assert_eq!(a.byte_by_byte.wilson.runs, b.byte_by_byte.wilson.runs);
+            assert_eq!(a.byte_by_byte.exhaustive.runs, b.byte_by_byte.exhaustive.runs);
+        }
+    }
+
+    #[test]
+    fn population_records_label_the_fleet_mix() {
+        use polycanary_core::record::Value;
+
+        let rows =
+            run_population(&ExperimentCtx::new(3).with_byte_budget(2_600).with_campaign_seeds(4));
+        let rec = rows[0].record();
+        assert_eq!(rec.get("population"), Some(&Value::Str("patched-90/10".into())));
+        let Some(Value::Record(mix)) = rec.get("population_mix") else {
+            panic!("fleet mix must nest: {rec:?}")
+        };
+        let Some(Value::List(members)) = mix.get("members") else { panic!("members nest") };
+        assert_eq!(members.len(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Table II — code expansion.
+
+use polycanary_core::record::{Record, Value};
+use polycanary_core::scheme::SchemeKind;
+use polycanary_crypto::{Prng, Xoshiro256StarStar};
+use polycanary_rewriter::LinkMode;
+use polycanary_workloads::build::{binary_size, Build};
+use polycanary_workloads::spec::{mean, spec_suite, SpecProgram};
+
+use super::{Experiment, ExperimentCtx, ScenarioOutput};
+
+/// The Table II scenario: code expansion of the three deployments.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table II: code expansion rate"
+    }
+
+    fn description(&self) -> &'static str {
+        "Binary-size expansion of compiler P-SSP and dynamic/static \
+         instrumentation over a seed-sampled program set"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        let result = run_table2(ctx);
+        ScenarioOutput::new(format_table2(&result), vec![result.record()])
+    }
+}
+
+/// The three columns of Table II, plus the program set they were measured
+/// over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Result {
+    /// Compiler-based P-SSP code expansion, percent.
+    pub compilation_percent: f64,
+    /// Instrumentation-based expansion for dynamically linked binaries.
+    pub instrumentation_dynamic_percent: f64,
+    /// Instrumentation-based expansion for statically linked binaries.
+    pub instrumentation_static_percent: f64,
+    /// The measured programs — the whole suite for full runs, a
+    /// seed-sampled subset for shrunk (`--quick`) runs.
+    pub programs: Vec<&'static str>,
+}
+
+impl Table2Result {
+    /// The self-describing record form of this result, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("compilation_percent", self.compilation_percent)
+            .field("instrumentation_dynamic_percent", self.instrumentation_dynamic_percent)
+            .field("instrumentation_static_percent", self.instrumentation_static_percent)
+            .field(
+                "programs",
+                self.programs.iter().map(|&p| Value::Str(p.into())).collect::<Vec<_>>(),
+            )
+    }
+}
+
+/// The SPEC-like programs a Table II run of `count` programs measures.
+///
+/// A shrunk run measures a *mean* over an arbitrary subset, so pinning it
+/// to "the first N of the suite" would silently bias every quick run
+/// toward the same programs; instead the subset is a seed-derived sample
+/// (Fisher–Yates over the suite), which is how the scenario consumes
+/// [`ExperimentCtx::seed`].  Asking for the whole suite (or more) returns
+/// it in canonical order, making full runs seed-independent.
+pub fn table2_program_sample(seed: u64, count: usize) -> Vec<SpecProgram> {
+    let mut suite = spec_suite();
+    let count = count.clamp(1, suite.len());
+    if count == suite.len() {
+        return suite;
+    }
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x7AB2_E5EE_D000_0002);
+    // Partial Fisher–Yates: after i swaps the prefix is a uniform sample.
+    for i in 0..count {
+        let j = i + (rng.next_u64() as usize) % (suite.len() - i);
+        suite.swap(i, j);
+    }
+    suite.truncate(count);
+    suite
+}
+
+/// Runs the Table II measurement over [`ExperimentCtx::spec_programs`]
+/// programs sampled per [`table2_program_sample`].  Programs are
+/// independent parallel jobs on the shared pool; binary sizes are exact, so
+/// the result is a pure function of the context.
+pub fn run_table2(ctx: &ExperimentCtx) -> Table2Result {
+    let sample = table2_program_sample(ctx.seed, ctx.spec_programs);
+
+    /// Per-program expansion of every deployment, measured in one job so
+    /// each module is built once per build flavour.
+    struct ProgramExpansion {
+        compilation: f64,
+        dynamic: f64,
+        statik: f64,
+    }
+    let expansions: Vec<ProgramExpansion> = ctx.pool().run(&sample, |_, p| {
+        let module = p.module();
+        let native = binary_size(&module, Build::Native) as f64;
+        // The instrumentation columns compare against the SSP binary the
+        // rewriter starts from, matching the paper's methodology.
+        let ssp_baseline = binary_size(&module, Build::Compiler(SchemeKind::Ssp)) as f64;
+        let percent = |build: Build, baseline: f64| -> f64 {
+            (binary_size(&module, build) as f64 - baseline) / baseline * 100.0
+        };
+        ProgramExpansion {
+            compilation: percent(Build::Compiler(SchemeKind::Pssp), native),
+            dynamic: percent(Build::BinaryRewriter(LinkMode::Dynamic), ssp_baseline),
+            statik: percent(Build::BinaryRewriter(LinkMode::Static), ssp_baseline),
+        }
+    });
+
+    Table2Result {
+        compilation_percent: mean(&expansions.iter().map(|e| e.compilation).collect::<Vec<_>>()),
+        instrumentation_dynamic_percent: mean(
+            &expansions.iter().map(|e| e.dynamic).collect::<Vec<_>>(),
+        ),
+        instrumentation_static_percent: mean(
+            &expansions.iter().map(|e| e.statik).collect::<Vec<_>>(),
+        ),
+        programs: sample.iter().map(|p| p.name).collect(),
+    }
+}
+
+/// Renders Table II.
+pub fn format_table2(result: &Table2Result) -> String {
+    format!(
+        "{:<28} {:>10.2}%\n{:<28} {:>10.2}%\n{:<28} {:>10.2}%\n(over {} programs: {})\n",
+        "Compilation",
+        result.compilation_percent,
+        "Instrumentation (dynamic)",
+        result.instrumentation_dynamic_percent,
+        "Instrumentation (static)",
+        result.instrumentation_static_percent,
+        result.programs.len(),
+        result.programs.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let result = run_table2(&ExperimentCtx::new(7).with_spec_programs(3));
+        assert!(result.compilation_percent > 0.0 && result.compilation_percent < 5.0);
+        assert_eq!(result.instrumentation_dynamic_percent, 0.0);
+        assert!(result.instrumentation_static_percent > 0.0);
+        assert_eq!(result.programs.len(), 3);
+        assert!(format_table2(&result).contains("static"));
+    }
+
+    #[test]
+    fn table2_consumes_the_context_seed() {
+        // Regression for the pre-registry engine, whose `run_table2` ignored
+        // the harness seed entirely: a shrunk run's program subset is a
+        // seed-derived sample, so two seeds measure different program sets.
+        let a = run_table2(&ExperimentCtx::new(1).with_spec_programs(4));
+        let b = run_table2(&ExperimentCtx::new(2).with_spec_programs(4));
+        assert_ne!(a.programs, b.programs, "quick subsets must be seed-sampled");
+        // Same seed, same subset — the sample is deterministic.
+        let a_again = run_table2(&ExperimentCtx::new(1).with_spec_programs(4));
+        assert_eq!(a, a_again);
+        // A full-suite run is seed-independent by design: there is nothing
+        // left to sample.
+        let full = spec_suite().len();
+        assert_eq!(
+            run_table2(&ExperimentCtx::new(1).with_spec_programs(full)).programs,
+            run_table2(&ExperimentCtx::new(2).with_spec_programs(full)).programs,
+        );
+    }
+
+    #[test]
+    fn table2_sample_is_a_subset_without_duplicates() {
+        let sample = table2_program_sample(9, 6);
+        assert_eq!(sample.len(), 6);
+        let suite_names: Vec<&str> = spec_suite().iter().map(|p| p.name).collect();
+        let mut names: Vec<&str> = sample.iter().map(|p| p.name).collect();
+        assert!(names.iter().all(|n| suite_names.contains(n)));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "sampled programs must be pairwise distinct");
+        // Oversized requests clamp to the whole suite in canonical order.
+        let all = table2_program_sample(9, suite_names.len() + 10);
+        assert_eq!(all.iter().map(|p| p.name).collect::<Vec<_>>(), suite_names);
+    }
+}

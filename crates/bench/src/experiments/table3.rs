@@ -1,0 +1,89 @@
+//! Table III — web servers.
+
+use std::fmt::Write as _;
+
+use polycanary_workloads::build::Build;
+use polycanary_workloads::webserver::{
+    benchmark_server, LoadConfig, ResponseTimeReport, ServerModel,
+};
+
+use super::{Experiment, ExperimentCtx, ScenarioOutput};
+
+/// The Table III scenario: mean response time per server × build cell.
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table III: web-server mean response time"
+    }
+
+    fn description(&self) -> &'static str {
+        "Mean response time of Apache-like and Nginx-like servers under \
+         native, compiler and instrumentation builds"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        let rows = run_table3(ctx);
+        ScenarioOutput::new(format_table3(&rows), rows.iter().map(Table3Row::record).collect())
+    }
+}
+
+/// One cell of Table III — the full workload report of one server × build
+/// load run (self-describing via [`ResponseTimeReport::record`]).
+pub type Table3Row = ResponseTimeReport;
+
+/// Runs the Table III measurement with [`ExperimentCtx::requests`] per
+/// cell.  Every server × build cell is an independent parallel job on the
+/// shared pool; the row order is the fixed cell order, not finish order.
+pub fn run_table3(ctx: &ExperimentCtx) -> Vec<Table3Row> {
+    let config = LoadConfig { requests: ctx.requests.max(1), concurrency: 50, seed: ctx.seed };
+    let cells: Vec<(ServerModel, Build)> = [ServerModel::ApacheLike, ServerModel::NginxLike]
+        .into_iter()
+        .flat_map(|server| Build::figure5_builds().into_iter().map(move |build| (server, build)))
+        .collect();
+    ctx.pool().run(&cells, |_, &(server, build)| benchmark_server(server, build, config))
+}
+
+/// Renders Table III.
+pub fn format_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:<36} {:>18}", "Server", "Build", "Mean ms/request");
+    for row in rows {
+        let _ = writeln!(out, "{:<10} {:<36} {:>18.3}", row.server, row.build, row.mean_ms);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shows_negligible_differences() {
+        let rows = run_table3(&ExperimentCtx::new(7).with_requests(20));
+        assert_eq!(rows.len(), 6);
+        for chunk in rows.chunks(3) {
+            let native = chunk[0].mean_ms;
+            for cell in chunk {
+                assert!((cell.mean_ms - native) / native < 0.01, "{cell:?}");
+            }
+        }
+        assert!(format_table3(&rows).contains("Build"));
+    }
+
+    #[test]
+    fn table3_cells_are_worker_count_independent() {
+        // The pool deposits results under their cell index, so row order is
+        // the fixed cell order (servers × figure5 builds) for any pool width.
+        let ctx = ExperimentCtx::new(9).with_requests(10);
+        let once = run_table3(&ctx.clone().with_workers(1));
+        let twice = run_table3(&ctx.with_workers(8));
+        assert_eq!(once, twice);
+        assert_eq!(once[0].server, "Apache2");
+        assert_eq!(once[3].server, "Nginx");
+    }
+}

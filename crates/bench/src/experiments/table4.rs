@@ -1,0 +1,91 @@
+//! Table IV — databases.
+
+use std::fmt::Write as _;
+
+use polycanary_workloads::build::Build;
+use polycanary_workloads::database::{benchmark_database, DatabaseModel, QueryReport};
+
+use super::{Experiment, ExperimentCtx, ScenarioOutput};
+
+/// The Table IV scenario: query latency and memory per engine × build cell.
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn name(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table IV: database performance"
+    }
+
+    fn description(&self) -> &'static str {
+        "Query latency and memory of MySQL-like and SQLite-like engines \
+         under native, compiler and instrumentation builds"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        let rows = run_table4(ctx);
+        ScenarioOutput::new(format_table4(&rows), rows.iter().map(Table4Row::record).collect())
+    }
+}
+
+/// One cell of Table IV — the full workload report of one engine × build
+/// benchmark (self-describing via [`QueryReport::record`]).
+pub type Table4Row = QueryReport;
+
+/// Runs the Table IV measurement with [`ExperimentCtx::queries`] per cell.
+/// Every engine × build cell is an independent parallel job on the shared
+/// pool; the row order is the fixed cell order, not finish order.
+pub fn run_table4(ctx: &ExperimentCtx) -> Vec<Table4Row> {
+    let (seed, queries) = (ctx.seed, ctx.queries.max(1));
+    let cells: Vec<(DatabaseModel, Build)> = [DatabaseModel::MySqlLike, DatabaseModel::SqliteLike]
+        .into_iter()
+        .flat_map(|engine| Build::figure5_builds().into_iter().map(move |build| (engine, build)))
+        .collect();
+    ctx.pool().run(&cells, |_, &(engine, build)| benchmark_database(engine, build, queries, seed))
+}
+
+/// Renders Table IV.
+pub fn format_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "{:<8} {:<36} {:>16} {:>14}", "Engine", "Build", "Query (ms)", "Memory (MB)");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<36} {:>16.3} {:>14.2}",
+            row.engine, row.build, row.mean_query_ms, row.memory_mb
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shows_negligible_differences() {
+        let rows = run_table4(&ExperimentCtx::new(7).with_queries(3));
+        assert_eq!(rows.len(), 6);
+        for chunk in rows.chunks(3) {
+            let native = chunk[0].mean_query_ms;
+            for cell in chunk {
+                assert!((cell.mean_query_ms - native) / native < 0.01, "{cell:?}");
+                assert_eq!(cell.memory_mb, chunk[0].memory_mb);
+            }
+        }
+        assert!(format_table4(&rows).contains("Memory"));
+    }
+
+    #[test]
+    fn table4_cells_are_worker_count_independent() {
+        let ctx = ExperimentCtx::new(9).with_queries(2);
+        let once = run_table4(&ctx.clone().with_workers(1));
+        let twice = run_table4(&ctx.with_workers(8));
+        assert_eq!(once, twice);
+        assert_eq!(once[0].engine, "MySQL");
+        assert_eq!(once[3].engine, "SQLite");
+    }
+}

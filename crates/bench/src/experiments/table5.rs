@@ -1,0 +1,132 @@
+//! Table V — prologue/epilogue cycles.
+
+use std::fmt::Write as _;
+
+use polycanary_compiler::codegen::Compiler;
+use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder};
+use polycanary_core::record::Record;
+use polycanary_core::scheme::SchemeKind;
+
+use super::{Experiment, ExperimentCtx, ScenarioOutput};
+
+/// The Table V scenario: canary-handling cycle cost per configuration.
+pub struct Table5;
+
+impl Experiment for Table5 {
+    fn name(&self) -> &'static str {
+        "table5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table V: prologue/epilogue CPU cycles"
+    }
+
+    fn description(&self) -> &'static str {
+        "Canary-handling cycle cost of P-SSP and its NT / LV / OWF \
+         extensions on a minimal probe function"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        let entries = run_table5(ctx);
+        ScenarioOutput::new(
+            format_table5(&entries),
+            entries.iter().map(Table5Entry::record).collect(),
+        )
+    }
+}
+
+/// One column of Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Entry {
+    /// Configuration label (scheme, plus canary count for P-SSP-LV).
+    pub label: String,
+    /// Extra cycles spent in the prologue + epilogue relative to the same
+    /// function compiled without protection.
+    pub cycles: u64,
+}
+
+impl Table5Entry {
+    /// The self-describing record form of this entry, for JSON/CSV export.
+    pub fn record(&self) -> Record {
+        Record::new().field("configuration", self.label.as_str()).field("cycles", self.cycles)
+    }
+}
+
+/// Runs the Table V micro-measurement.  Each configuration probe is an
+/// independent parallel job on the shared pool; simulated cycle counts are
+/// exact, so the entries are a pure function of the context seed.
+pub fn run_table5(ctx: &ExperimentCtx) -> Vec<Table5Entry> {
+    let seed = ctx.seed;
+    let configs: [(&str, SchemeKind, u32); 5] = [
+        ("P-SSP", SchemeKind::Pssp, 0),
+        ("P-SSP-NT", SchemeKind::PsspNt, 0),
+        ("P-SSP-LV (2 canaries)", SchemeKind::PsspLv, 1),
+        ("P-SSP-LV (4 canaries)", SchemeKind::PsspLv, 3),
+        ("P-SSP-OWF", SchemeKind::PsspOwf, 0),
+    ];
+    ctx.pool().run(&configs, |_, &(label, scheme, criticals)| Table5Entry {
+        label: label.into(),
+        cycles: canary_handling_cycles(scheme, criticals, seed),
+    })
+}
+
+/// Measures the prologue+epilogue cycle cost of `scheme` on a minimal probe
+/// function with `critical_buffers` critical locals, by differencing against
+/// the unprotected build of the same probe.
+pub fn canary_handling_cycles(scheme: SchemeKind, critical_buffers: u32, seed: u64) -> u64 {
+    let probe = |kind: SchemeKind| -> u64 {
+        let mut f = FunctionBuilder::new("probe").buffer("buf", 32).safe_copy("buf");
+        for i in 0..critical_buffers {
+            f = f.critical_buffer(format!("secret_{i}"), 16);
+        }
+        let module = ModuleBuilder::new().function(f.returns(0).build()).build().unwrap();
+        let compiled = Compiler::new(kind).compile(&module).expect("probe compiles");
+        let mut machine = compiled.into_machine(seed);
+        let mut process = machine.spawn();
+        process.set_input(vec![0u8; 8]);
+        let outcome = machine.run(&mut process).expect("probe runs");
+        assert!(outcome.exit.is_normal(), "probe must not crash: {:?}", outcome.exit);
+        outcome.cycles
+    };
+    probe(scheme).saturating_sub(probe(SchemeKind::Native))
+}
+
+/// Renders Table V.
+pub fn format_table5(entries: &[Table5Entry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<24} {:>18}", "Configuration", "Cycles (pro+epi)");
+    for entry in entries {
+        let _ = writeln!(out, "{:<24} {:>18}", entry.label, entry.cycles);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_reproduces_the_paper_ordering() {
+        let entries = run_table5(&ExperimentCtx::new(5));
+        let get = |label: &str| entries.iter().find(|e| e.label.starts_with(label)).unwrap().cycles;
+        let pssp = get("P-SSP");
+        let nt = get("P-SSP-NT");
+        let lv2 = get("P-SSP-LV (2");
+        let lv4 = get("P-SSP-LV (4");
+        let owf = get("P-SSP-OWF");
+        // Paper: 6, 343, 343, 986, 278.
+        assert!(pssp < 30, "P-SSP should be a handful of cycles, got {pssp}");
+        assert!(owf > pssp && owf < nt, "OWF ({owf}) sits between P-SSP ({pssp}) and NT ({nt})");
+        assert!((lv2 as i64 - nt as i64).abs() < 60, "LV-2 ({lv2}) ~ NT ({nt})");
+        assert!(lv4 > 2 * nt, "LV-4 ({lv4}) draws three random numbers vs NT's one ({nt})");
+        assert!(format_table5(&entries).contains("P-SSP-OWF"));
+    }
+
+    #[test]
+    fn table5_entries_are_worker_count_independent() {
+        let once = run_table5(&ExperimentCtx::new(5).with_workers(1));
+        let twice = run_table5(&ExperimentCtx::new(5).with_workers(8));
+        assert_eq!(once, twice);
+        assert_eq!(once.len(), 5);
+    }
+}

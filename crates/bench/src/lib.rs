@@ -1,20 +1,34 @@
 //! Benchmark harness regenerating every table and figure of
 //! *To Detect Stack Buffer Overflow with Polymorphic Canaries* (DSN 2018).
 //!
-//! The [`experiments`] module contains one `run_*` / `format_*` pair per
-//! table and figure of the paper's evaluation section:
+//! The [`experiments`] module is a **scenario engine**: every paper
+//! artefact (and every extension, like the mixed-fleet `population`
+//! scenario) is one module implementing the [`experiments::Experiment`]
+//! trait and registered once in [`experiments::registry`].  The `harness`
+//! binary derives its usage text, argument validation, dispatch and
+//! JSON/CSV export loop from that registry, so a scenario cannot exist
+//! half-wired; the Criterion benches wrap the same `run_*` functions for
+//! wall-clock measurement, and EXPERIMENTS.md records representative
+//! output next to the paper's numbers.
 //!
-//! | Function | Paper artefact |
+//! | Registry name | Paper artefact |
 //! |---|---|
-//! | [`experiments::run_table1`] | Table I — defence-tool comparison |
-//! | [`experiments::run_fig5`] | Figure 5 — SPEC runtime overhead |
-//! | [`experiments::run_table2`] | Table II — code expansion |
-//! | [`experiments::run_table3`] | Table III — web-server response time |
-//! | [`experiments::run_table4`] | Table IV — database performance |
-//! | [`experiments::run_table5`] | Table V — prologue/epilogue cycles |
-//! | [`experiments::run_effectiveness`] | §VI-C — attack effectiveness |
-//! | [`experiments::run_theorem1`] | Theorem 1 — canary independence |
-//! | [`experiments::run_ablation`] | §IV/§VI-B — extension trade-offs |
+//! | `table1` | Table I — defence-tool comparison |
+//! | `fig5` | Figure 5 — SPEC runtime overhead |
+//! | `table2` | Table II — code expansion |
+//! | `table3` | Table III — web-server response time |
+//! | `table4` | Table IV — database performance |
+//! | `table5` | Table V — prologue/epilogue cycles |
+//! | `effectiveness` | §VI-C — attack effectiveness |
+//! | `server-attack` | §II — stop-rule comparison on forking servers |
+//! | `population` | mixed partially-patched fleets (beyond the paper) |
+//! | `theorem1` | Theorem 1 — canary independence |
+//! | `ablation` | §IV/§VI-B — extension trade-offs |
+//!
+//! Every scenario consumes one [`experiments::ExperimentCtx`] (seed,
+//! sizing, worker budget, stop rule) and fans its independent units out
+//! over the shared job pool, so records are a pure function of the context
+//! — the worker count changes wall time, never results.
 //!
 //! Run `cargo run -p polycanary-bench --bin harness -- all` to print every
 //! table, or `cargo bench` to measure them under Criterion.

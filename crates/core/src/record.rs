@@ -30,6 +30,32 @@
 //! assert_eq!(rec.get("scheme"), Some(&Value::Str("P-SSP".into())));
 //! ```
 
+/// Version of the export-envelope layout produced by
+/// [`export_envelope`].  Cross-run trend tooling keys on this: bump it
+/// whenever the envelope's field set or semantics change, so a diff
+/// between two exports can tell a data change from a format change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Wraps one scenario's records in the self-describing export envelope:
+///
+/// | field | meaning |
+/// |---|---|
+/// | `schema_version` | [`SCHEMA_VERSION`] of the envelope layout |
+/// | `scenario` | registry name of the scenario that produced the records |
+/// | `ctx` | the full experiment context (seed, quick, workers, stop rule …) |
+/// | `records` | the scenario's result records |
+///
+/// Every harness export (file or stream entry) is one envelope, so a later
+/// run can re-parse it with [`records_from_json`] / [`Record::from_json`]
+/// and diff like against like.
+pub fn export_envelope(scenario: &str, ctx: Record, records: Vec<Record>) -> Record {
+    Record::new()
+        .field("schema_version", SCHEMA_VERSION)
+        .field("scenario", scenario)
+        .field("ctx", ctx)
+        .field("records", records)
+}
+
 /// One field value of a [`Record`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -621,6 +647,19 @@ pub fn records_to_csv(records: &[Record]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn export_envelope_is_self_describing_and_parses_back() {
+        let ctx = Record::new().field("seed", 7u64).field("quick", true);
+        let envelope = export_envelope("table1", ctx, vec![Record::new().field("scheme", "P-SSP")]);
+        assert_eq!(envelope.get("schema_version"), Some(&Value::UInt(SCHEMA_VERSION)));
+        assert_eq!(envelope.get("scenario"), Some(&Value::Str("table1".into())));
+        let parsed = Record::from_json(&envelope.to_json()).expect("envelope parses");
+        let Some(Value::Record(ctx)) = parsed.get("ctx") else { panic!("ctx nests: {parsed:?}") };
+        assert_eq!(ctx.get("seed"), Some(&Value::UInt(7)));
+        let Some(Value::List(records)) = parsed.get("records") else { panic!("records nest") };
+        assert_eq!(records.len(), 1);
+    }
 
     #[test]
     fn json_escapes_strings_and_handles_non_finite_floats() {

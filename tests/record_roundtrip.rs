@@ -46,9 +46,10 @@ fn campaign_report_survives_a_json_round_trip() {
 
 #[test]
 fn effectiveness_row_array_survives_a_json_round_trip() {
-    use polycanary_bench::experiments::{run_effectiveness, EffectivenessRow};
+    use polycanary_bench::experiments::{run_effectiveness, EffectivenessRow, ExperimentCtx};
 
-    let rows = run_effectiveness(3, &[SchemeKind::Ssp, SchemeKind::Pssp], 3_000, 4);
+    let ctx = ExperimentCtx::new(3).with_byte_budget(3_000).with_campaign_seeds(4);
+    let rows = run_effectiveness(&ctx, &[SchemeKind::Ssp, SchemeKind::Pssp]);
     let records: Vec<Record> = rows.iter().map(EffectivenessRow::record).collect();
     let parsed = records_from_json(&records_to_json(&records)).expect("array export parses");
     assert_eq!(parsed.len(), 2);

@@ -530,6 +530,21 @@ impl CampaignReport {
 
 /// Driver replaying one attack strategy against N independently seeded
 /// victims, fanned out over scoped worker threads.
+///
+/// Reports are a pure function of the seed list — the worker count only
+/// changes wall time:
+///
+/// ```
+/// use polycanary_attacks::campaign::{AttackKind, Campaign};
+/// use polycanary_core::scheme::SchemeKind;
+///
+/// let report = Campaign::new(AttackKind::ByteByByte { budget: 4_000 }, SchemeKind::Ssp)
+///     .with_seed_range(0xA77A, 4)
+///     .with_workers(2)
+///     .run();
+/// assert_eq!(report.success_rate(), 1.0); // classic SSP falls in every seed
+/// assert!(report.trial_stats().unwrap().mean > 64.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Campaign {
     attack: AttackKind,

@@ -27,6 +27,15 @@ use std::sync::Mutex;
 /// A fixed-width pool of scoped worker threads draining an indexed work
 /// queue.  Construction is cheap — threads are only spawned inside
 /// [`JobPool::run`] and join before it returns.
+///
+/// ```
+/// use polycanary_attacks::pool::JobPool;
+///
+/// let pool = JobPool::with_workers(4);
+/// let doubled = pool.run(&["a", "bb"], |index, item| format!("{index}:{item}{item}"));
+/// assert_eq!(doubled, vec!["0:aa", "1:bbbb"]); // input order, any worker count
+/// assert_eq!(pool.resolved_workers(2), 2);     // width capped at the job count
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobPool {
     workers: usize,

@@ -10,7 +10,9 @@
 //! (kernel `fork(2)` semantics) and then the scheme's runtime hook runs, so
 //! the stack canaries the worker presents are either *inherited* or
 //! *re-randomized* exactly per the scheme's
-//! [`ForkCanaryPolicy`](polycanary_core::scheme::ForkCanaryPolicy).
+//! [`ForkCanaryPolicy`].
+//!
+//! [`ForkCanaryPolicy`]: polycanary_core::scheme::ForkCanaryPolicy
 //!
 //! That reconnect loop is what the attacks drive: a byte-by-byte guess is
 //! one connection carrying one request (a crash is a connection reset, a

@@ -1,4 +1,5 @@
-//! Command-line harness printing every registered scenario of the engine.
+//! Command-line harness printing every registered scenario of the engine —
+//! and the trend-tracking subcommands consuming its own exports.
 //!
 //! ```text
 //! cargo run -p polycanary-bench --bin harness -- all
@@ -6,21 +7,37 @@
 //! cargo run -p polycanary-bench --bin harness -- --seed 7 --workers 4 effectiveness
 //! cargo run -p polycanary-bench --bin harness -- --format json --out results all
 //! cargo run -p polycanary-bench --bin harness -- --quick --timings BENCH_scenarios.json all
+//! cargo run -p polycanary-bench --bin harness -- diff old-run/ new-run/ \
+//!     --baseline BENCH_scenarios.json --threshold 25
+//! cargo run -p polycanary-bench --bin harness -- report new-run/ --out EXPERIMENTS.md
 //! ```
 //!
-//! Everything scenario-specific — the usage text, name validation, dispatch
-//! and the export loop — derives from the scenario registry
-//! (`polycanary_bench::experiments::registry`); this file knows no
+//! Everything scenario-specific — the usage text, name validation, dispatch,
+//! the export loop and the report sections — derives from the scenario
+//! registry (`polycanary_bench::experiments::registry`); this file knows no
 //! experiment by name.  Scenarios render as plain text (default), as
 //! self-describing JSON envelopes (schema version, scenario name, full
 //! context, records) or as bare CSV rows via `--format json|csv`; every
 //! JSON payload is re-parsed through the workspace JSON parser before it
 //! is emitted, so a malformed export can never leave the process.
+//!
+//! `harness diff OLD NEW` compares two such exports (directories, single
+//! envelopes or `--timings` files) through `polycanary_analysis` and exits
+//! 1 when it finds a regression — a verdict flip, a lost scenario, or a
+//! wall-time ratio beyond `--threshold` against `--baseline` — so CI can
+//! gate on it.  `harness report DIR` renders the Markdown experiment
+//! report from an export directory; EXPERIMENTS.md is its generated,
+//! drift-checked output.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use polycanary_bench::experiments::{registry, Experiment, ExperimentCtx, ExportFormat};
+use polycanary_analysis::diff::{diff_runs, DiffOptions};
+use polycanary_analysis::run::Run;
+use polycanary_analysis::summary::RunSummary;
+use polycanary_bench::experiments::{
+    registry, report_sections, Experiment, ExperimentCtx, ExportFormat,
+};
 use polycanary_core::record::{
     export_envelope, records_to_csv, records_to_json, Record, SCHEMA_VERSION,
 };
@@ -28,7 +45,9 @@ use polycanary_core::record::{
 fn print_usage() {
     eprintln!(
         "usage: harness [--seed N] [--quick] [--adaptive] [--workers N] \
-         [--format text|json|csv] [--out DIR] [--timings FILE] [--list] <scenario>..."
+         [--format text|json|csv] [--out DIR] [--timings FILE] [--list] <scenario>...\n\
+         \x20      harness diff OLD NEW [--baseline FILE] [--threshold PCT] [--format text|json]\n\
+         \x20      harness report DIR [--out FILE] [--format md|json]"
     );
     eprintln!("scenarios (or `all`):");
     for experiment in registry() {
@@ -46,7 +65,13 @@ fn print_usage() {
          --format      text (default), json (self-describing envelopes) or csv (bare records)\n\
          --out DIR     write one <scenario>.<ext> file per scenario to DIR\n\
          --timings FILE  also write per-scenario wall times as JSON records\n\
-         --list        print `name<TAB>title` per scenario and exit"
+         --list        print `name<TAB>title` per scenario and exit\n\
+         \n\
+         diff   compare two runs (export dirs, envelope files or --timings files);\n\
+         \x20      exits 1 on regression: verdict flip, lost scenario, or wall time\n\
+         \x20      beyond --threshold PCT (default 25) vs --baseline (default: OLD)\n\
+         report render the Markdown experiment report (EXPERIMENTS.md) from an\n\
+         \x20      export directory; --format json emits the same model as records"
     );
 }
 
@@ -69,6 +94,14 @@ fn main() {
     if args.is_empty() {
         print_usage();
         std::process::exit(2);
+    }
+
+    // The trend-tracking subcommands consume prior exports instead of
+    // running scenarios; no registry name collides with them.
+    match args.first().map(String::as_str) {
+        Some("diff") => run_diff_command(&args[1..]),
+        Some("report") => run_report_command(&args[1..]),
+        _ => {}
     }
 
     let mut ctx = ExperimentCtx::new(0x00DD_5EED);
@@ -228,6 +261,144 @@ fn verified_json(envelope: Record) -> String {
         runtime_error(&format!("export failed its own re-parse: {err}"));
     }
     body
+}
+
+/// Loads one side of a diff, bailing out with the offending file named.
+fn load_run(path: &str) -> Run {
+    Run::load(Path::new(path)).unwrap_or_else(|err| runtime_error(&err.to_string()))
+}
+
+/// `harness diff OLD NEW [--baseline FILE] [--threshold PCT]
+/// [--format text|json]` — never returns.
+///
+/// Exit code 0 when the runs match (informational findings allowed), 1 on
+/// any regression, 2 on a bad command line.
+fn run_diff_command(args: &[String]) -> ! {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut options = DiffOptions::default();
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                let Some(value) = iter.next() else {
+                    usage_error("diff: --baseline requires a file path");
+                };
+                baseline = Some(value.clone());
+            }
+            "--threshold" => {
+                let Some(value) = iter.next() else {
+                    usage_error("diff: --threshold requires a percentage");
+                };
+                // f64::from_str happily parses "NaN"/"inf", and a NaN
+                // threshold silently disables the wall-time gate — only a
+                // finite, non-negative percentage is a valid invocation.
+                options.threshold_pct = value
+                    .parse()
+                    .ok()
+                    .filter(|pct: &f64| pct.is_finite() && *pct >= 0.0)
+                    .unwrap_or_else(|| {
+                        usage_error(&format!(
+                            "diff: invalid --threshold value `{value}` \
+                             (expected a finite percentage >= 0)"
+                        ))
+                    });
+            }
+            "--format" => {
+                let Some(value) = iter.next() else {
+                    usage_error("diff: --format requires a value (text or json)");
+                };
+                json = match value.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => usage_error(&format!(
+                        "diff: invalid --format value `{other}` (expected text or json)"
+                    )),
+                };
+            }
+            other if other.starts_with("--") => {
+                usage_error(&format!("diff: unknown flag `{other}`"))
+            }
+            other => positional.push(other),
+        }
+    }
+    let [old_path, new_path] = positional[..] else {
+        usage_error("diff requires exactly two run paths: harness diff OLD NEW");
+    };
+
+    let old = load_run(old_path);
+    let new = load_run(new_path);
+    let baseline = baseline.map(|path| load_run(&path));
+    let report = diff_runs(&old, &new, baseline.as_ref(), &options);
+    if json {
+        println!("{}", verified_json(report.to_record()));
+    } else {
+        print!("{}", report.render_text());
+    }
+    std::process::exit(i32::from(report.has_regressions()));
+}
+
+/// `harness report DIR [--out FILE] [--format md|json]` — never returns.
+///
+/// Renders the generated experiment report (EXPERIMENTS.md) from the JSON
+/// export envelopes in DIR, with section titles, descriptions and paper
+/// annotations drawn from the scenario registry.
+fn run_report_command(args: &[String]) -> ! {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut out_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(value) = iter.next() else {
+                    usage_error("report: --out requires a file path");
+                };
+                out_path = Some(PathBuf::from(value));
+            }
+            "--format" => {
+                let Some(value) = iter.next() else {
+                    usage_error("report: --format requires a value (md or json)");
+                };
+                json = match value.as_str() {
+                    "md" => false,
+                    "json" => true,
+                    other => usage_error(&format!(
+                        "report: invalid --format value `{other}` (expected md or json)"
+                    )),
+                };
+            }
+            other if other.starts_with("--") => {
+                usage_error(&format!("report: unknown flag `{other}`"))
+            }
+            other => positional.push(other),
+        }
+    }
+    let [dir] = positional[..] else {
+        usage_error("report requires exactly one export directory: harness report DIR");
+    };
+
+    let run = load_run(dir);
+    if run.scenarios.is_empty() {
+        runtime_error(&format!("{dir}: contains no scenario envelopes to report on"));
+    }
+    let summary = RunSummary::new(&run, &report_sections());
+    let body = if json {
+        format!("{}\n", verified_json(summary.to_record()))
+    } else {
+        summary.to_markdown()
+    };
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, body.as_bytes()).unwrap_or_else(|err| {
+                runtime_error(&format!("cannot write {}: {err}", path.display()));
+            });
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{body}"),
+    }
+    std::process::exit(0);
 }
 
 /// One scenario's wall-time record for `--timings` — the perf-trajectory

@@ -25,6 +25,12 @@ impl Experiment for Ablation {
          requirements of P-SSP and its extensions"
     }
 
+    fn paper_note(&self) -> &'static str {
+        "the extensions trade per-call cycles for deployment (NT needs no \
+         TLS/fork changes) and disclosure resilience (only OWF), while all of \
+         them keep the byte-by-byte attack at ≥ 2⁶³ expected trials."
+    }
+
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
         let rows = run_ablation(ctx);
         ScenarioOutput::new(format_ablation(&rows), rows.iter().map(AblationRow::record).collect())

@@ -284,6 +284,13 @@ pub trait Experiment: Sync {
         &[]
     }
 
+    /// The annotation comparing this scenario's output to the paper's
+    /// numbers — the `**Paper:**` paragraph of its section in the
+    /// generated EXPERIMENTS.md.  Required, not defaulted: registering a
+    /// scenario without documenting what the paper claims is exactly the
+    /// doc drift the generated report exists to prevent.
+    fn paper_note(&self) -> &'static str;
+
     /// Runs the scenario under `ctx` and returns its rendering + records.
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput;
 }
@@ -291,6 +298,18 @@ pub trait Experiment: Sync {
 /// Every scenario, registered exactly once, in canonical order.  The
 /// harness and the CI sweep both iterate this list — adding a scenario
 /// here is all it takes to make it runnable, documented and CI-covered.
+///
+/// ```
+/// use polycanary_bench::experiments::registry;
+///
+/// let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+/// assert!(names.contains(&"table1") && names.contains(&"server-attack"));
+/// // Every scenario carries the metadata the generated report needs.
+/// for experiment in registry() {
+///     assert!(!experiment.description().is_empty(), "{}", experiment.name());
+///     assert!(!experiment.paper_note().is_empty(), "{}", experiment.name());
+/// }
+/// ```
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(table1::Table1),
@@ -310,6 +329,24 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
 /// Resolves a CLI name (canonical or alias) to its registered scenario.
 pub fn find_experiment(name: &str) -> Option<Box<dyn Experiment>> {
     registry().into_iter().find(|e| e.name() == name || e.aliases().contains(&name))
+}
+
+/// The registry rendered as report metadata: one
+/// [`SectionMeta`](polycanary_analysis::summary::SectionMeta) per
+/// scenario, in registry order.  `harness report` hands this to
+/// [`polycanary_analysis::summary::RunSummary`] so the generated
+/// EXPERIMENTS.md sections, titles and paper annotations all come from the
+/// same place the CLI usage text does.
+pub fn report_sections() -> Vec<polycanary_analysis::summary::SectionMeta> {
+    registry()
+        .iter()
+        .map(|experiment| polycanary_analysis::summary::SectionMeta {
+            name: experiment.name(),
+            title: experiment.title(),
+            description: experiment.description(),
+            paper_note: experiment.paper_note(),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -30,6 +30,19 @@ impl Experiment for ServerAttack {
          stop rules, with verdict-agreement flags and server counters"
     }
 
+    fn paper_note(&self) -> &'static str {
+        "each victim is a long-lived forking server; every byte-guess is one \
+         connection served by a freshly forked worker, so the SSP break at \
+         ~1000 connections per victim and the polymorphic survivals reproduce \
+         the §II-B analysis against the realistic reconnect loop.  Every cell is \
+         campaigned under all three stop rules: `Exhaustive` attacks every \
+         configured victim, `WilsonSettled` stops once a 95 % interval clears \
+         the 1/2 threshold (4 unanimous victims), and `Sprt` — Wald's \
+         sequential probability-ratio test at 5 % error rates — stops after 3, \
+         spending strictly fewer connections on every unanimous cell while \
+         always reaching the same verdict."
+    }
+
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
         let rows = run_server_attack(ctx, EFFECTIVENESS_SCHEMES);
         ScenarioOutput::new(

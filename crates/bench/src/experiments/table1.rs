@@ -28,6 +28,17 @@ impl Experiment for Table1 {
          correctness, compiler overhead"
     }
 
+    fn paper_note(&self) -> &'static str {
+        "only P-SSP combines BROP prevention, fork-correctness and near-zero \
+         overhead — SSP is correct but falls to the byte-by-byte attack, RAF-SSP \
+         prevents it but breaks returns through inherited frames, DynaGuard/DCR \
+         prevent it at higher bookkeeping cost.  The BROP column is a multi-seed \
+         forking-server campaign verdict (`successes/victims, connections`) under \
+         the sequential (SPRT) stop rule, and the fork-canary column is the §II \
+         mechanism behind it: only the schemes whose forked workers inherit the \
+         parent's canary byte-for-byte are BROP-able."
+    }
+
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
         let rows = run_table1(ctx);
         ScenarioOutput::new(format_table1(&rows), rows.iter().map(Table1Row::record).collect())

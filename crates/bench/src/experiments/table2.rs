@@ -26,6 +26,15 @@ impl Experiment for Table2 {
          instrumentation over a seed-sampled program set"
     }
 
+    fn paper_note(&self) -> &'static str {
+        "compilation grows the binary by a few percent; dynamic instrumentation \
+         expands nothing on disk (the rewriter patches in place against the SSP \
+         baseline), while static rewriting pays the largest expansion.  Same \
+         shape here.  A `--quick` run measures a seed-sampled program subset \
+         (listed in the record) rather than always the first four, so the shrunk \
+         mean is not biased toward one fixed slice."
+    }
+
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
         let result = run_table2(ctx);
         ScenarioOutput::new(format_table2(&result), vec![result.record()])

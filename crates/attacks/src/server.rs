@@ -40,16 +40,14 @@
 //! assert_eq!(server.requests_served(), 2);
 //! ```
 
-use polycanary_compiler::codegen::Compiler;
 use polycanary_core::record::Record;
 use polycanary_core::scheme::{ForkCanaryPolicy, SchemeKind};
-use polycanary_rewriter::{LinkMode, Rewriter};
 use polycanary_vm::cpu::Exit;
 use polycanary_vm::machine::Machine;
 use polycanary_vm::process::Process;
 
 use crate::oracle::{OverflowOracle, RequestOutcome};
-use crate::victim::victim_module;
+use crate::snapshot::{VictimKey, VictimSnapshot};
 pub use crate::victim::{Deployment, FrameGeometry, VictimConfig, HIJACK_TARGET};
 
 /// A forking worker-per-connection server protected by a configurable
@@ -81,52 +79,33 @@ impl ForkingServer {
     /// Builds and "boots" the victim server: compiles (or rewrites) the
     /// victim binary, spawns the parent process — whose loader-drawn TLS
     /// canary every worker will inherit — and starts accepting connections.
+    ///
+    /// This is the from-scratch path; fleet campaigns that boot many
+    /// servers of one configuration build the binary once with
+    /// [`VictimSnapshot::build`] and boot each server through
+    /// [`ForkingServer::from_snapshot`], which is bit-identical.
     pub fn new(config: VictimConfig) -> Self {
-        let module = victim_module(config.buffer_size);
-        let (program, scheme_for_runtime) = match config.deployment {
-            Deployment::Compiler => {
-                let compiled = Compiler::new(config.scheme)
-                    .compile(&module)
-                    .expect("victim module always compiles");
-                (compiled.program, config.scheme)
-            }
-            Deployment::BinaryRewriter => {
-                let compiled = Compiler::new(SchemeKind::Ssp)
-                    .compile(&module)
-                    .expect("victim module always compiles");
-                let mut program = compiled.program;
-                Rewriter::new()
-                    .with_link_mode(LinkMode::Dynamic)
-                    .rewrite(&mut program)
-                    .expect("SSP victim is always rewritable");
-                (program, SchemeKind::PsspBin32)
-            }
-        };
+        ForkingServer::from_snapshot(&VictimSnapshot::build(VictimKey::of(&config)), config.seed)
+    }
 
-        // Recompute the geometry from the scheme that actually governs the
-        // final binary (the rewriter keeps SSP's single-slot layout).
-        let canary_words = match config.deployment {
-            Deployment::Compiler => config.scheme.scheme().canary_region_words(),
-            Deployment::BinaryRewriter => 1,
-        };
-        let geometry = FrameGeometry {
-            filler_len: config.buffer_size as usize,
-            canary_region_len: (canary_words as usize) * 8,
-        };
-
-        let hooks = scheme_for_runtime.scheme().runtime_hooks(config.seed ^ 0xA77C_0DE5);
-        let mut machine = Machine::new(program, hooks, config.seed);
-        machine.exec_config.hijack_target = Some(HIJACK_TARGET);
-        // Attack campaigns fork thousands of workers; a small stack keeps the
-        // per-fork memory copy cheap without affecting any result.
-        machine.set_stack_size(16 * 1024);
-        let parent = machine.spawn();
+    /// Boots a victim server from a pre-built [`VictimSnapshot`], skipping
+    /// the compile/rewrite pipeline.  For any seed this is bit-identical to
+    /// [`ForkingServer::new`] with the corresponding [`VictimConfig`]: the
+    /// parent process is restored from the captured image and the loader's
+    /// canary draws, the runtime hooks and all per-process entropy are
+    /// re-derived from `seed` exactly as a fresh boot would.
+    pub fn from_snapshot(victim: &VictimSnapshot, seed: u64) -> Self {
+        let config = victim.key().config_with_seed(seed);
+        let runtime_scheme = victim.runtime_scheme();
+        let hooks = runtime_scheme.scheme().runtime_hooks(seed ^ 0xA77C_0DE5);
+        let mut machine = Machine::from_snapshot(victim.vm_snapshot(), hooks, seed);
+        let parent = machine.restore(victim.vm_snapshot());
         ForkingServer {
             machine,
             parent,
-            geometry,
+            geometry: victim.geometry(),
             config,
-            policy: scheme_for_runtime.fork_canary_policy(),
+            policy: runtime_scheme.fork_canary_policy(),
             connections: 0,
             requests: 0,
             crashed_workers: 0,

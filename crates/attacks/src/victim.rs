@@ -39,7 +39,7 @@ impl FrameGeometry {
 }
 
 /// How the victim binary was produced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Deployment {
     /// Compiled with the scheme's compiler plugin.
     #[default]

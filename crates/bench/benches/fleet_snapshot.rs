@@ -1,0 +1,45 @@
+//! Fleet engine — snapshot-boot vs from-scratch victim construction.
+//!
+//! The whole point of the snapshot layer is that booting the Nth server of
+//! a configuration skips the compile/rewrite pipeline: `restore` should
+//! beat `rebuild` by a wide margin on every deployment vehicle.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_attacks::snapshot::{VictimKey, VictimSnapshot};
+use polycanary_attacks::victim::{Deployment, ForkingServer, VictimConfig};
+use polycanary_core::scheme::SchemeKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_snapshot");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let cells: [(&str, SchemeKind, Deployment); 3] = [
+        ("ssp_compiler", SchemeKind::Ssp, Deployment::Compiler),
+        ("pssp_compiler", SchemeKind::Pssp, Deployment::Compiler),
+        ("pssp_rewriter", SchemeKind::PsspBin32, Deployment::BinaryRewriter),
+    ];
+    for (label, scheme, deployment) in cells {
+        let config = VictimConfig::new(scheme, 0xF1EE7).with_deployment(deployment);
+
+        // From-scratch path: compile (or rewrite) + boot, per victim.
+        group.bench_with_input(BenchmarkId::new("rebuild", label), &config, |b, &config| {
+            b.iter(|| ForkingServer::new(config))
+        });
+
+        // Snapshot path: the build happens once per configuration; each
+        // victim boots from the captured image.
+        let snapshot = VictimSnapshot::build(VictimKey::of(&config));
+        group.bench_with_input(BenchmarkId::new("restore", label), &snapshot, |b, snapshot| {
+            b.iter(|| ForkingServer::from_snapshot(snapshot, 0xF1EE7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

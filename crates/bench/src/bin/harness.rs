@@ -44,7 +44,7 @@ use polycanary_core::record::{
 
 fn print_usage() {
     eprintln!(
-        "usage: harness [--seed N] [--quick] [--adaptive] [--workers N] \
+        "usage: harness [--seed N] [--quick] [--adaptive] [--workers N] [--fleet N] \
          [--format text|json|csv] [--out DIR] [--timings FILE] [--list] <scenario>...\n\
          \x20      harness diff OLD NEW [--baseline FILE] [--threshold PCT] [--format text|json]\n\
          \x20      harness report DIR [--out FILE] [--format md|json]"
@@ -62,6 +62,8 @@ fn print_usage() {
         "--quick       smaller workloads and campaigns (CI-sized)\n\
          --adaptive    stop single-rule campaigns once their verdict settles\n\
          --workers N   cap the worker-thread budget (results never change)\n\
+         --fleet N     fleet-scale mode: SPRT campaigns over N snapshot-booted\n\
+         \x20             victims per cell (population and server-attack scenarios)\n\
          --format      text (default), json (self-describing envelopes) or csv (bare records)\n\
          --out DIR     write one <scenario>.<ext> file per scenario to DIR\n\
          --timings FILE  also write per-scenario wall times as JSON records\n\
@@ -129,6 +131,17 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage_error(&format!("invalid --workers value `{value}`")));
                 ctx = ctx.with_workers(workers.max(1));
+            }
+            "--fleet" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--fleet requires a value");
+                };
+                let fleet: usize = value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "invalid --fleet value `{value}`: expected a positive victim count"
+                    ))
+                });
+                ctx = ctx.with_fleet(fleet);
             }
             "--format" => {
                 let Some(value) = iter.next() else {

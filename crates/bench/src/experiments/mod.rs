@@ -114,6 +114,14 @@ pub struct ExperimentCtx {
     pub campaign_seeds: usize,
     /// Re-randomization samples for the Theorem-1 uniformity test.
     pub theorem1_samples: usize,
+    /// Fleet-scale victim count (`--fleet N`): when set, the campaign
+    /// scenarios (`population`, `server-attack`) switch to SPRT-only
+    /// fleet campaigns over `N` lazily drawn victim seeds — 10^5+ is
+    /// practical because victims boot from memoized snapshots and the
+    /// sequential rule cancels almost the entire fleet.  `None` (the
+    /// default, and what the registry sweeps use) keeps the classic
+    /// stop-rule-comparison scenarios.
+    pub fleet: Option<usize>,
 }
 
 impl ExperimentCtx {
@@ -133,6 +141,7 @@ impl ExperimentCtx {
             byte_budget: 20_000,
             campaign_seeds: EFFECTIVENESS_SEEDS,
             theorem1_samples: 5_000,
+            fleet: None,
         }
     }
 
@@ -221,6 +230,14 @@ impl ExperimentCtx {
         self
     }
 
+    /// Switches the campaign scenarios to fleet mode over `fleet` victims
+    /// (the harness `--fleet N` flag; `0` is treated as `1`).
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: usize) -> Self {
+        self.fleet = Some(fleet.max(1));
+        self
+    }
+
     /// The job pool every scenario fans out on: `--workers`-capped, or one
     /// worker per CPU.
     pub fn pool(&self) -> JobPool {
@@ -244,6 +261,7 @@ impl ExperimentCtx {
             .field("byte_budget", self.byte_budget)
             .field("campaign_seeds", self.campaign_seeds)
             .field("theorem1_samples", self.theorem1_samples)
+            .field("fleet", self.fleet.unwrap_or(0))
     }
 }
 

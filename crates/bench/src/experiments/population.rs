@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use polycanary_attacks::campaign::{AttackKind, Campaign};
+use polycanary_attacks::campaign::{AttackKind, Campaign, CampaignReport, StopRule};
 use polycanary_attacks::population::Population;
 use polycanary_core::record::Record;
 use polycanary_core::scheme::SchemeKind;
@@ -46,6 +46,13 @@ impl Experiment for MixedPopulation {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        if let Some(fleet) = ctx.fleet {
+            let rows = run_population_fleet(ctx, fleet);
+            return ScenarioOutput::new(
+                format_population_fleet(&rows),
+                rows.iter().map(FleetRow::record).collect(),
+            );
+        }
         let rows = run_population(ctx);
         ScenarioOutput::new(
             format_population(&rows),
@@ -149,6 +156,93 @@ pub fn format_population(rows: &[PopulationRow]) -> String {
     out
 }
 
+/// One fleet-mode row: a population campaigned at fleet scale under the
+/// SPRT stop rule.  Fleet mode is SPRT-only by design — an exhaustive
+/// campaign over 10^5 victims would attack them all, and the Wilson rule's
+/// repeated testing has a heavy tail on near-50/50 fleets, while SPRT's
+/// expected sample size stays in the single digits whatever the fleet
+/// size.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// The victim fleet.
+    pub population: Population,
+    /// The SPRT byte-by-byte campaign over the whole fleet.
+    pub report: CampaignReport,
+}
+
+impl FleetRow {
+    /// The self-describing record form of this row — including the
+    /// snapshot-reuse and shard counters the fleet engine exists for.
+    /// Every field is deterministic (worker-count independent).
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("population", self.population.label())
+            .field("population_mix", self.population.record())
+            .field("fleet", self.report.configured_seeds)
+            .field("completed_seeds", self.report.runs.len())
+            .field("victims_cancelled", self.report.victims_cancelled())
+            .field("stopped_early", self.report.stopped_early())
+            .field("verdict", self.report.verdict().label())
+            .field("success_rate", self.report.success_rate())
+            .field("total_requests", self.report.total_requests())
+            .field("shard_size", self.report.shard_size)
+            .field("snapshot_configs", self.report.snapshot_configs())
+            .field("snapshot_reuses", self.report.snapshot_reuses())
+    }
+}
+
+/// Runs the fleet-mode population experiment: every fleet in
+/// [`population_fleets`] is campaigned with the byte-by-byte attack over
+/// `fleet_size` lazily drawn victim seeds under [`StopRule::sprt`].  The
+/// sequential rule settles after a handful of victims and cancels the
+/// rest, so 10^5+ victims complete in seconds; the reported rows are
+/// byte-identical at any worker count.
+pub fn run_population_fleet(ctx: &ExperimentCtx, fleet_size: usize) -> Vec<FleetRow> {
+    let fleets = population_fleets();
+    let (seed, byte_budget) = (ctx.seed, ctx.byte_budget);
+    let pool = ctx.pool();
+    let campaign_workers = pool.nested_workers(fleets.len());
+    pool.run(&fleets, |_, fleet| FleetRow {
+        population: fleet.clone(),
+        report: Campaign::against(AttackKind::ByteByByte { budget: byte_budget }, fleet.clone())
+            .with_seed_range(seed, fleet_size)
+            .with_stop_rule(StopRule::sprt())
+            .with_workers(campaign_workers)
+            .run(),
+    })
+}
+
+/// Renders the fleet-mode population experiment: per fleet, the verdict,
+/// how few victims the SPRT rule actually attacked, and the snapshot
+/// reuse behind them.
+pub fn format_population_fleet(rows: &[FleetRow]) -> String {
+    let mut out = String::new();
+    let fleet = rows.first().map(|r| r.report.configured_seeds).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "SPRT byte-by-byte fleet campaigns over {fleet} victims per fleet; \
+         snapshots are shared per victim configuration"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "Fleet", "verdict", "attacked", "cancelled", "configs", "reuses"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12} {:>10} {:>12} {:>10} {:>10}",
+            row.population.label(),
+            row.report.verdict().label(),
+            row.report.campaigns(),
+            row.report.victims_cancelled(),
+            row.report.snapshot_configs(),
+            row.report.snapshot_reuses(),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +273,40 @@ mod tests {
             assert_eq!(a.byte_by_byte.wilson.runs, b.byte_by_byte.wilson.runs);
             assert_eq!(a.byte_by_byte.exhaustive.runs, b.byte_by_byte.exhaustive.runs);
         }
+    }
+
+    #[test]
+    fn fleet_mode_completes_at_scale_and_is_worker_count_independent() {
+        let ctx = ExperimentCtx::new(11).with_byte_budget(2_600).with_fleet(100_000);
+        let serial = run_population_fleet(&ctx.clone().with_workers(1), 100_000);
+        let parallel = run_population_fleet(&ctx.with_workers(8), 100_000);
+        assert_eq!(serial.len(), population_fleets().len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.report.runs, b.report.runs, "{}", a.population.label());
+            assert_eq!(a.record(), b.record(), "{}", a.population.label());
+            assert_eq!(a.report.configured_seeds, 100_000);
+            // SPRT settles after a handful of victims; the rest of the
+            // fleet is never attacked (or even constructed).
+            assert!(a.report.stopped_early(), "{}", a.population.label());
+            assert!(a.report.campaigns() < 100, "{}", a.population.label());
+        }
+    }
+
+    #[test]
+    fn fleet_records_export_snapshot_and_shard_counters() {
+        use polycanary_core::record::Value;
+
+        let ctx = ExperimentCtx::new(9).with_byte_budget(2_600).with_fleet(10_000);
+        let rows = run_population_fleet(&ctx, 10_000);
+        let rec = rows[0].record();
+        assert_eq!(rec.get("fleet"), Some(&Value::UInt(10_000)));
+        assert!(rec.get("shard_size").is_some(), "{rec:?}");
+        assert!(rec.get("snapshot_configs").is_some(), "{rec:?}");
+        assert!(rec.get("snapshot_reuses").is_some(), "{rec:?}");
+        assert!(rec.get("victims_cancelled").is_some(), "{rec:?}");
+        let rendered = format_population_fleet(&rows);
+        assert!(rendered.contains("10000 victims per fleet"), "{rendered}");
+        assert!(rendered.contains("cancelled"), "{rendered}");
     }
 
     #[test]

@@ -44,6 +44,13 @@ impl Experiment for ServerAttack {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
+        if let Some(fleet) = ctx.fleet {
+            let rows = run_server_attack_fleet(ctx, EFFECTIVENESS_SCHEMES, fleet);
+            return ScenarioOutput::new(
+                format_server_attack_fleet(&rows),
+                rows.iter().map(ServerFleetRow::record).collect(),
+            );
+        }
         let rows = run_server_attack(ctx, EFFECTIVENESS_SCHEMES);
         ScenarioOutput::new(
             format_server_attack(&rows),
@@ -223,6 +230,102 @@ pub fn format_server_attack(rows: &[ServerAttackRow]) -> String {
     out
 }
 
+/// One fleet-mode row: a scheme's whole server fleet campaigned under the
+/// SPRT stop rule.  As in the population scenario, fleet mode is
+/// SPRT-only: the sequential rule's expected sample size is independent of
+/// the fleet size, so the verdict for 10^5 servers costs a handful of
+/// victim attacks — every one booted from the scheme's shared VM snapshot.
+#[derive(Debug, Clone)]
+pub struct ServerFleetRow {
+    /// The scheme protecting every server in the fleet.
+    pub scheme: SchemeKind,
+    /// Deployment vehicle (binary rewriter for `PsspBin32`).
+    pub deployment: Deployment,
+    /// The SPRT byte-by-byte campaign over the whole fleet.
+    pub report: CampaignReport,
+}
+
+impl ServerFleetRow {
+    /// The self-describing record form of this row — including the
+    /// snapshot-reuse and shard counters of the fleet engine.  Every
+    /// field is deterministic (worker-count independent).
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("scheme", self.scheme.name())
+            .field("deployment", self.deployment.label())
+            .field("fleet", self.report.configured_seeds)
+            .field("completed_seeds", self.report.runs.len())
+            .field("victims_cancelled", self.report.victims_cancelled())
+            .field("stopped_early", self.report.stopped_early())
+            .field("verdict", self.report.verdict().label())
+            .field("success_rate", self.report.success_rate())
+            .field("total_requests", self.report.total_requests())
+            .field("shard_size", self.report.shard_size)
+            .field("snapshot_configs", self.report.snapshot_configs())
+            .field("snapshot_reuses", self.report.snapshot_reuses())
+    }
+}
+
+/// Runs the fleet-mode server-attack experiment: for every scheme, one
+/// SPRT byte-by-byte campaign over `fleet_size` victim servers (each a
+/// distinct seed of the scheme's effectiveness deployment).  Unanimous
+/// scheme fleets settle after three victims, so fleets of 10^5+ servers
+/// complete in seconds with byte-identical reports at any worker count.
+pub fn run_server_attack_fleet(
+    ctx: &ExperimentCtx,
+    schemes: &[SchemeKind],
+    fleet_size: usize,
+) -> Vec<ServerFleetRow> {
+    let (seed, byte_budget) = (ctx.seed, ctx.byte_budget);
+    let pool = ctx.pool();
+    let campaign_workers = pool.nested_workers(schemes.len());
+    pool.run(schemes, |_, &scheme| {
+        let deployment = effectiveness_deployment(scheme);
+        ServerFleetRow {
+            scheme,
+            deployment,
+            report: Campaign::new(AttackKind::ByteByByte { budget: byte_budget }, scheme)
+                .with_deployment(deployment)
+                .with_seed_range(seed, fleet_size)
+                .with_stop_rule(StopRule::sprt())
+                .with_workers(campaign_workers)
+                .run(),
+        }
+    })
+}
+
+/// Renders the fleet-mode server-attack experiment: per scheme, the SPRT
+/// verdict, how few of the fleet's servers were actually attacked, and
+/// the snapshot reuse behind them.
+pub fn format_server_attack_fleet(rows: &[ServerFleetRow]) -> String {
+    let mut out = String::new();
+    let fleet = rows.first().map(|r| r.report.configured_seeds).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "SPRT byte-by-byte fleet campaigns over {fleet} servers per scheme; \
+         snapshots are shared per victim configuration"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:<10} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "Scheme", "deploy", "verdict", "attacked", "cancelled", "configs", "reuses"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<10} {:>12} {:>10} {:>12} {:>10} {:>10}",
+            row.scheme.name(),
+            row.deployment.label(),
+            row.report.verdict().label(),
+            row.report.campaigns(),
+            row.report.victims_cancelled(),
+            row.report.snapshot_configs(),
+            row.report.snapshot_reuses(),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +373,42 @@ mod tests {
         assert!(rendered.contains("6 victim seeds"), "{rendered}");
         assert!(rendered.contains("breaks 3v"), "{rendered}");
         assert!(!rendered.contains("DISAGREE"), "{rendered}");
+    }
+
+    #[test]
+    fn server_fleet_mode_settles_every_scheme_at_scale() {
+        use polycanary_core::record::Value;
+
+        let base = ExperimentCtx::new(7).with_byte_budget(3_000).with_fleet(100_000);
+        let schemes = [SchemeKind::Ssp, SchemeKind::Pssp, SchemeKind::PsspBin32];
+        let serial = run_server_attack_fleet(&base.clone().with_workers(1), &schemes, 100_000);
+        let parallel = run_server_attack_fleet(&base.with_workers(8), &schemes, 100_000);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.report.runs, b.report.runs, "{}", a.scheme);
+            assert_eq!(a.record(), b.record(), "{}", a.scheme);
+        }
+
+        // Unanimous fleets settle after three victims; one snapshot covers
+        // every attacked server of a scheme.
+        let ssp = &serial[0];
+        assert_eq!(ssp.report.verdict(), Verdict::Breaks);
+        let pssp = &serial[1];
+        assert_eq!(pssp.report.verdict(), Verdict::Resists);
+        let rewritten = &serial[2];
+        assert_eq!(rewritten.deployment, Deployment::BinaryRewriter);
+        for row in &serial {
+            assert_eq!(row.report.configured_seeds, 100_000, "{}", row.scheme);
+            assert_eq!(row.report.campaigns(), 3, "{}", row.scheme);
+            assert_eq!(row.report.victims_cancelled(), 99_997, "{}", row.scheme);
+            assert_eq!(row.report.snapshot_configs(), 1, "{}", row.scheme);
+            assert_eq!(row.report.snapshot_reuses(), 2, "{}", row.scheme);
+            let rec = row.record();
+            assert_eq!(rec.get("fleet"), Some(&Value::UInt(100_000)));
+            assert_eq!(rec.get("snapshot_configs"), Some(&Value::UInt(1)));
+        }
+        let rendered = format_server_attack_fleet(&serial);
+        assert!(rendered.contains("100000 servers per scheme"), "{rendered}");
+        assert!(rendered.contains("rewriter"), "{rendered}");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod mem;
 pub mod process;
 pub mod program;
 pub mod reg;
+pub mod snapshot;
 pub mod tls;
 
 pub use cpu::{Cpu, ExecConfig, Exit, RunOutcome, RETURN_SENTINEL};
@@ -59,6 +60,7 @@ pub use mem::Memory;
 pub use process::{Pid, Process};
 pub use program::Program;
 pub use reg::{Reg, RegisterFile};
+pub use snapshot::Snapshot;
 pub use tls::{
     Tls, TLS_CANARY_OFFSET, TLS_DCR_HEAD_OFFSET, TLS_DYNAGUARD_CAB_OFFSET, TLS_SHADOW_C0_OFFSET,
     TLS_SHADOW_C1_OFFSET, TLS_SHADOW_PACKED32_OFFSET,

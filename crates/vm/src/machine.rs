@@ -7,6 +7,8 @@
 //! (§V-A).  [`Machine`] models the first two and exposes the third as the
 //! [`RuntimeHooks`] trait, implemented per scheme in `polycanary-core`.
 
+use std::sync::Arc;
+
 use polycanary_crypto::{Prng, SplitMix64};
 
 use crate::cpu::{Cpu, ExecConfig, Exit, RunOutcome};
@@ -15,6 +17,7 @@ use crate::inst::FuncId;
 use crate::mem::DEFAULT_STACK_SIZE;
 use crate::process::{Pid, Process};
 use crate::program::Program;
+use crate::snapshot::Snapshot;
 
 /// Runtime hooks corresponding to the P-SSP shared library of §V-A.
 ///
@@ -53,8 +56,12 @@ impl RuntimeHooks for NoHooks {
 }
 
 /// A machine: a finalized program plus the runtime that launches processes.
+///
+/// The program is shared by `Arc`, so machines booted from the same
+/// [`Snapshot`] — one per victim in a fleet campaign — share a single
+/// compiled copy.
 pub struct Machine {
-    program: Program,
+    program: Arc<Program>,
     hooks: Box<dyn RuntimeHooks>,
     loader_rng: SplitMix64,
     next_pid: u64,
@@ -86,7 +93,7 @@ impl Machine {
             program.finalize();
         }
         Machine {
-            program,
+            program: Arc::new(program),
             hooks,
             loader_rng: SplitMix64::new(seed),
             next_pid: 1,
@@ -94,6 +101,49 @@ impl Machine {
             forks: 0,
             exec_config: ExecConfig::default(),
         }
+    }
+
+    /// Boots a machine from a [`Snapshot`] instead of a program: the
+    /// compiled program and the execution configuration are shared from the
+    /// snapshot (no re-finalization, no copy), while the seed-dependent
+    /// state — pid sequence, loader RNG — starts fresh from `seed`, exactly
+    /// as in [`Machine::new`].  For any given `(program, seed)` the two
+    /// boot paths are indistinguishable.
+    pub fn from_snapshot(snapshot: &Snapshot, hooks: Box<dyn RuntimeHooks>, seed: u64) -> Self {
+        Machine {
+            program: snapshot.program_arc(),
+            hooks,
+            loader_rng: SplitMix64::new(seed),
+            next_pid: 1,
+            stack_size: snapshot.stack_size(),
+            forks: 0,
+            exec_config: snapshot.exec_config().clone(),
+        }
+    }
+
+    /// Captures this machine's seed-independent boot state: the shared
+    /// program, the execution configuration and the current stack size.
+    /// See [`Snapshot`] for the restore contract.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_parts(Arc::clone(&self.program), self.exec_config.clone(), self.stack_size)
+    }
+
+    /// The fast path of [`Machine::spawn`]: launches a new top-level
+    /// process whose memory image is *cloned* from the snapshot (an `Arc`
+    /// bump per segment, copy-on-write thereafter) instead of freshly
+    /// allocated and zeroed.  Everything seed-dependent — the pid, the
+    /// loader's canary draw, the entropy devices, the startup hook — runs
+    /// exactly as in `spawn`, so for equal machine state the two paths
+    /// return bit-identical processes.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Process {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let seed = self.loader_rng.next_u64();
+        let mut process = Process::from_image(pid, seed, snapshot.image().clone());
+        process.tls.set_canary(self.loader_rng.next_u64());
+        let mut cpu = Cpu::new();
+        self.hooks.on_startup(&mut process, &mut cpu);
+        process
     }
 
     /// Sets the stack size used for newly spawned processes.
@@ -347,6 +397,55 @@ mod tests {
         // Parent's shadow canary is untouched by the child's fork hook.
         assert_eq!(parent.tls.shadow_canary(), (1, 2));
         assert_eq!(machine.hooks_name(), "counting");
+    }
+
+    #[test]
+    fn restore_matches_spawn_bit_for_bit() {
+        let mut fresh = Machine::new(trivial_program(), Box::new(NoHooks), 77);
+        let snapshot = fresh.snapshot();
+        let mut restored = Machine::from_snapshot(&snapshot, Box::new(NoHooks), 77);
+        // The pid sequence, loader canaries and memory images all agree —
+        // across several draws, not just the first.
+        for _ in 0..3 {
+            let mut a = fresh.spawn();
+            let mut b = restored.restore(&snapshot);
+            assert_eq!(a.pid(), b.pid());
+            assert_eq!(a.tls.canary(), b.tls.canary());
+            assert_eq!(a.memory, b.memory);
+            let ran_a = fresh.run(&mut a).unwrap();
+            let ran_b = restored.run(&mut b).unwrap();
+            assert_eq!(ran_a.exit, ran_b.exit);
+            assert_eq!(ran_a.instructions, ran_b.instructions);
+        }
+    }
+
+    #[test]
+    fn restore_runs_the_startup_hook() {
+        struct ShadowHook;
+        impl RuntimeHooks for ShadowHook {
+            fn on_startup(&mut self, process: &mut Process, _cpu: &mut Cpu) {
+                process.tls.set_shadow_canary(11, 22);
+            }
+        }
+        let machine = Machine::new(trivial_program(), Box::new(NoHooks), 4);
+        let snapshot = machine.snapshot();
+        let mut booted = Machine::from_snapshot(&snapshot, Box::new(ShadowHook), 4);
+        let process = booted.restore(&snapshot);
+        assert_eq!(process.tls.shadow_canary(), (11, 22));
+    }
+
+    #[test]
+    fn restored_processes_share_image_pages_until_written() {
+        let machine = Machine::new(trivial_program(), Box::new(NoHooks), 8);
+        let snapshot = machine.snapshot();
+        let mut booted = Machine::from_snapshot(&snapshot, Box::new(NoHooks), 8);
+        let a = booted.restore(&snapshot);
+        let b = booted.restore(&snapshot);
+        // Neither process has written yet: both still share the snapshot's
+        // pristine image pages — the allocation-free boot the fleet engine
+        // depends on.
+        assert!(a.memory.shares_pages_with(snapshot.image()));
+        assert!(b.memory.shares_pages_with(snapshot.image()));
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! The globals segment hosts the per-thread global buffer of the §VII-C
 //! layout-preserving variant (Figure 6) and any global state the synthetic
 //! workloads need.
+//!
+//! Both segments are reference-counted pages with copy-on-write semantics:
+//! cloning a [`Memory`] — which is what `fork()` and snapshot restores do —
+//! only bumps two `Arc`s, and a segment is copied the first time either
+//! side writes to it.  A forked worker that never touches its globals never
+//! pays for them, which is what lets a fleet campaign boot 10^5 victims
+//! without materialising 10^5 address spaces.
+
+use std::sync::Arc;
 
 use crate::error::VmError;
 
@@ -27,12 +36,14 @@ pub const DEFAULT_GLOBAL_SIZE: u64 = 64 * 1024;
 /// Cloning a [`Memory`] models `fork()`: the child receives a copy-on-write
 /// image which, for the purposes of canary semantics, behaves as an
 /// independent byte-for-byte copy — crucially *including* the stack frames
-/// that the parent pushed before forking (§II-B, "Caveat").
+/// that the parent pushed before forking (§II-B, "Caveat").  The clone
+/// itself is an `Arc` bump per segment; the actual byte copy happens lazily
+/// on the first write to each segment ([`Arc::make_mut`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Memory {
-    stack: Vec<u8>,
+    stack: Arc<Vec<u8>>,
     stack_size: u64,
-    globals: Vec<u8>,
+    globals: Arc<Vec<u8>>,
     global_size: u64,
 }
 
@@ -46,11 +57,19 @@ impl Memory {
     pub fn with_stack_size(stack_size: u64) -> Self {
         let stack_size = stack_size.max(4096).next_multiple_of(16);
         Memory {
-            stack: vec![0u8; stack_size as usize],
+            stack: Arc::new(vec![0u8; stack_size as usize]),
             stack_size,
-            globals: vec![0u8; DEFAULT_GLOBAL_SIZE as usize],
+            globals: Arc::new(vec![0u8; DEFAULT_GLOBAL_SIZE as usize]),
             global_size: DEFAULT_GLOBAL_SIZE,
         }
+    }
+
+    /// Whether `self` and `other` still share both underlying segment
+    /// allocations — i.e. neither side has written since the clone.  A
+    /// diagnostic for the copy-on-write machinery; equality of *contents*
+    /// is what `==` checks.
+    pub fn shares_pages_with(&self, other: &Memory) -> bool {
+        Arc::ptr_eq(&self.stack, &other.stack) && Arc::ptr_eq(&self.globals, &other.globals)
     }
 
     /// The highest valid stack address + 1 (initial `rsp`).
@@ -109,10 +128,12 @@ impl Memory {
         }
     }
 
+    /// The single write gateway: unshares the touched segment (and only
+    /// that segment) before handing out the mutable bytes.
     fn segment_mut(&mut self, seg: Segment) -> &mut Vec<u8> {
         match seg {
-            Segment::Stack => &mut self.stack,
-            Segment::Globals => &mut self.globals,
+            Segment::Stack => Arc::make_mut(&mut self.stack),
+            Segment::Globals => Arc::make_mut(&mut self.globals),
         }
     }
 
@@ -295,6 +316,29 @@ mod tests {
         child.write_u64(addr, 2).unwrap();
         assert_eq!(parent.read_u64(addr).unwrap(), 1);
         assert_eq!(child.read_u64(addr).unwrap(), 2);
+    }
+
+    #[test]
+    fn clone_shares_pages_until_first_write() {
+        let parent = Memory::new();
+        let mut child = parent.clone();
+        assert!(parent.shares_pages_with(&child), "a fresh clone copies nothing");
+        // A stack write unshares only the stack segment.
+        child.write_u64(STACK_TOP - 0x80, 7).unwrap();
+        assert!(!parent.shares_pages_with(&child));
+        // The globals page is still the parent's allocation: a second clone
+        // of the parent shares pages with the parent but not the child.
+        assert!(parent.shares_pages_with(&parent.clone()));
+        // Contents stay equal wherever untouched.
+        assert_eq!(parent.read_u64(GLOBAL_BASE).unwrap(), child.read_u64(GLOBAL_BASE).unwrap());
+    }
+
+    #[test]
+    fn equality_is_by_contents_not_by_sharing() {
+        let a = Memory::new();
+        let b = Memory::new();
+        assert!(!a.shares_pages_with(&b), "independent images share nothing");
+        assert_eq!(a, b, "but their zeroed contents are equal");
     }
 
     #[test]

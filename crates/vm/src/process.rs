@@ -59,9 +59,20 @@ impl Process {
     /// runs are reproducible; the *TLS canary itself* is set by the loader
     /// (see `Machine::spawn`), not here.
     pub fn new(pid: Pid, seed: u64, stack_size: u64) -> Self {
+        Process::from_image(pid, seed, Memory::with_stack_size(stack_size))
+    }
+
+    /// Creates a process from a pre-built memory image — the snapshot
+    /// restore path, where `image` is a copy-on-write clone of a pristine
+    /// captured image rather than a fresh allocation.
+    ///
+    /// Everything besides the image matches [`Process::new`] exactly; with
+    /// an all-zero image the two constructors are indistinguishable, which
+    /// is what makes `Machine::restore` bit-identical to `Machine::spawn`.
+    pub fn from_image(pid: Pid, seed: u64, image: Memory) -> Self {
         Process {
             pid,
-            memory: Memory::with_stack_size(stack_size),
+            memory: image,
             tls: Tls::new(),
             hwrng: HardwareRng::new(seed ^ pid.0.rotate_left(17)),
             tsc: TimeStampCounter::new(seed & 0xFFFF),

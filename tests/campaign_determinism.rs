@@ -53,7 +53,7 @@ fn campaign_runs_preserve_seed_order() {
     let report = byte_campaign(SchemeKind::Ssp, 4);
     let campaign = Campaign::new(AttackKind::ByteByByte { budget: 3_000 }, SchemeKind::Ssp)
         .with_seed_range(0xFACADE, 8);
-    let expected: Vec<u64> = campaign.seeds().to_vec();
+    let expected: Vec<u64> = campaign.seeds();
     let observed: Vec<u64> = report.runs.iter().map(|r| r.seed).collect();
     assert_eq!(observed, expected, "report order must follow seed order, not finish order");
 }
@@ -73,7 +73,7 @@ fn rewriter_deployment_campaigns_are_worker_count_independent() {
     assert!(serial.none_succeeded(), "rewritten binaries resist byte-by-byte: {serial:?}");
     // The campaigned victims keep SSP's single-slot layout (8-byte canary
     // region) — the rewriter upgrades the binary in place.
-    for &seed in base.seeds() {
+    for seed in base.seeds() {
         let geometry = ForkingServer::new(base.victim_config(seed)).geometry();
         assert_eq!(geometry.canary_region_len, 8, "seed {seed:#x}");
     }

@@ -38,6 +38,7 @@ use polycanary_analysis::summary::RunSummary;
 use polycanary_bench::experiments::{
     registry, report_sections, Experiment, ExperimentCtx, ExportFormat,
 };
+use polycanary_bench::verify::{run_inject, run_verify, InjectedDefect};
 use polycanary_core::record::{
     export_envelope, records_to_csv, records_to_json, Record, SCHEMA_VERSION,
 };
@@ -47,7 +48,8 @@ fn print_usage() {
         "usage: harness [--seed N] [--quick] [--adaptive] [--workers N] [--fleet N] \
          [--format text|json|csv] [--out DIR] [--timings FILE] [--list] <scenario>...\n\
          \x20      harness diff OLD NEW [--baseline FILE] [--threshold PCT] [--format text|json]\n\
-         \x20      harness report DIR [--out FILE] [--format md|json]"
+         \x20      harness report DIR [--out FILE] [--format md|json]\n\
+         \x20      harness verify [--quick] [--inject DEFECT] [--format text|json] [--out FILE]"
     );
     eprintln!("scenarios (or `all`):");
     for experiment in registry() {
@@ -73,7 +75,11 @@ fn print_usage() {
          \x20      exits 1 on regression: verdict flip, lost scenario, or wall time\n\
          \x20      beyond --threshold PCT (default 25) vs --baseline (default: OLD)\n\
          report render the Markdown experiment report (EXPERIMENTS.md) from an\n\
-         \x20      export directory; --format json emits the same model as records"
+         \x20      export directory; --format json emits the same model as records\n\
+         verify statically prove canary invariants over every workload x scheme x\n\
+         \x20      deployment cell; exits 1 on any finding.  --inject DEFECT runs the\n\
+         \x20      known-bad battery instead (defects: skipped-prologue,\n\
+         \x20      clobbered-canary, dropped-epilogue, dead-check, stale-rewrite)"
     );
 }
 
@@ -103,6 +109,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("diff") => run_diff_command(&args[1..]),
         Some("report") => run_report_command(&args[1..]),
+        Some("verify") => run_verify_command(&args[1..]),
         _ => {}
     }
 
@@ -412,6 +419,78 @@ fn run_report_command(args: &[String]) -> ! {
         None => print!("{body}"),
     }
     std::process::exit(0);
+}
+
+/// `harness verify [--quick] [--inject DEFECT] [--format text|json]
+/// [--out FILE]` — never returns.
+///
+/// Statically proves the canary invariants over every workload × scheme ×
+/// deployment cell and exits 1 on any finding, so CI can gate on a clean
+/// toolchain.  `--inject DEFECT` verifies a deliberately broken program
+/// instead — the negative control that must exit 1.
+fn run_verify_command(args: &[String]) -> ! {
+    let mut quick = false;
+    let mut inject: Option<InjectedDefect> = None;
+    let mut json = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--inject" => {
+                let Some(value) = iter.next() else {
+                    usage_error("verify: --inject requires a defect label");
+                };
+                inject = Some(InjectedDefect::from_label(value).unwrap_or_else(|| {
+                    let labels: Vec<_> =
+                        InjectedDefect::ALL.iter().map(InjectedDefect::label).collect();
+                    usage_error(&format!(
+                        "verify: unknown defect `{value}` (expected one of: {})",
+                        labels.join(", ")
+                    ))
+                }));
+            }
+            "--format" => {
+                let Some(value) = iter.next() else {
+                    usage_error("verify: --format requires a value (text or json)");
+                };
+                json = match value.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => usage_error(&format!(
+                        "verify: invalid --format value `{other}` (expected text or json)"
+                    )),
+                };
+            }
+            "--out" => {
+                let Some(value) = iter.next() else {
+                    usage_error("verify: --out requires a file path");
+                };
+                out_path = Some(PathBuf::from(value));
+            }
+            other => usage_error(&format!("verify: unexpected argument `{other}`")),
+        }
+    }
+
+    let report = match inject {
+        Some(defect) => run_inject(defect),
+        None => run_verify(quick),
+    };
+    let body = if json {
+        format!("{}\n", verified_json(report.envelope(quick)))
+    } else {
+        report.render_text()
+    };
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, body.as_bytes()).unwrap_or_else(|err| {
+                runtime_error(&format!("cannot write {}: {err}", path.display()));
+            });
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{body}"),
+    }
+    std::process::exit(i32::from(!report.is_clean()));
 }
 
 /// One scenario's wall-time record for `--timings` — the perf-trajectory

@@ -37,5 +37,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod verify;
 
 pub use experiments::*;

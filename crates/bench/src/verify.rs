@@ -1,0 +1,229 @@
+//! `harness verify` — static verification sweep over every workload ×
+//! scheme × deployment cell.
+//!
+//! Where every other scenario *runs* the builds, this sweep *proves* them:
+//! each cell compiles one workload under one build vehicle and hands the
+//! result to `polycanary_verifier` — [`verify_compiled`] for compiler
+//! output, [`verify_rewritten`] for rewriter output — collecting the typed
+//! findings.  A clean toolchain yields zero findings over the whole matrix,
+//! so CI gates on the process exit code; the [`InjectedDefect`] battery is
+//! the negative control proving the gate can actually fail.
+//!
+//! Results export in the same schema-versioned envelope as every scenario
+//! (`scenario: "verify"`), so `harness diff` and `polycanary-analysis`
+//! consume them without special cases.
+
+use polycanary_compiler::ir::ModuleDef;
+use polycanary_compiler::{CompiledModule, Compiler};
+use polycanary_core::record::{export_envelope, Record};
+use polycanary_core::scheme::SchemeKind;
+use polycanary_rewriter::{LinkMode, Rewriter};
+use polycanary_verifier::{verify_compiled, verify_rewritten, Finding};
+use polycanary_workloads::{spec_suite, Build, DatabaseModel, ServerModel};
+
+pub use polycanary_verifier::InjectedDefect;
+
+/// Result of verifying one workload × build cell.
+#[derive(Debug, Clone)]
+pub struct VerifyCell {
+    /// Workload name (SPEC program, server or database model).
+    pub workload: String,
+    /// Deployment vehicle label ([`Build::label`]).
+    pub build: String,
+    /// Number of functions the verifier analysed.
+    pub functions: usize,
+    /// Every invariant violation found — empty on a clean toolchain.
+    pub findings: Vec<Finding>,
+}
+
+impl VerifyCell {
+    /// The cell as a self-describing record (findings nested as records).
+    pub fn record(&self) -> Record {
+        Record::new()
+            .field("workload", self.workload.as_str())
+            .field("build", self.build.as_str())
+            .field("functions", self.functions)
+            .field("finding_count", self.findings.len())
+            .field("findings", self.findings.iter().map(Finding::record).collect::<Vec<_>>())
+    }
+}
+
+/// A full verification sweep.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Every verified cell, workload-major.
+    pub cells: Vec<VerifyCell>,
+}
+
+impl VerifyReport {
+    /// Total findings across all cells.
+    pub fn finding_count(&self) -> usize {
+        self.cells.iter().map(|cell| cell.findings.len()).sum()
+    }
+
+    /// Whether the whole matrix verified finding-free.
+    pub fn is_clean(&self) -> bool {
+        self.finding_count() == 0
+    }
+
+    /// The export envelope (`scenario: "verify"`), consumable by
+    /// `harness diff` and `polycanary-analysis` like any scenario export.
+    pub fn envelope(&self, quick: bool) -> Record {
+        let ctx = Record::new()
+            .field("quick", quick)
+            .field("cells", self.cells.len())
+            .field("finding_count", self.finding_count());
+        export_envelope("verify", ctx, self.cells.iter().map(VerifyCell::record).collect())
+    }
+
+    /// Plain-text rendering: one line per cell, then a verdict.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "static verification: {} cells", self.cells.len());
+        for cell in &self.cells {
+            let verdict = if cell.findings.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} finding(s)", cell.findings.len())
+            };
+            let _ = writeln!(
+                out,
+                "  {:<18} {:<28} {:>3} function(s)  {verdict}",
+                cell.workload, cell.build, cell.functions
+            );
+            for finding in &cell.findings {
+                let _ = writeln!(out, "    {finding}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.is_clean() {
+                "clean — all canary invariants proven".to_string()
+            } else {
+                format!("{} finding(s)", self.finding_count())
+            }
+        );
+        out
+    }
+}
+
+/// The workloads one sweep covers: SPEC-like programs (4 under `quick`,
+/// all 28 otherwise) plus both server and both database models.
+fn workload_modules(quick: bool) -> Vec<(String, ModuleDef)> {
+    let spec = spec_suite();
+    let spec_count = if quick { 4 } else { spec.len() };
+    let mut modules: Vec<(String, ModuleDef)> = spec
+        .iter()
+        .take(spec_count)
+        .map(|program| (program.name.to_string(), program.module()))
+        .collect();
+    for server in [ServerModel::ApacheLike, ServerModel::NginxLike] {
+        modules.push((format!("{server:?}"), server.module()));
+    }
+    for database in [DatabaseModel::MySqlLike, DatabaseModel::SqliteLike] {
+        modules.push((format!("{database:?}"), database.module()));
+    }
+    modules
+}
+
+/// The deployment vehicles every workload is verified under: all ten
+/// compiler schemes plus both rewriter link modes.
+fn builds() -> Vec<Build> {
+    let mut builds: Vec<Build> = SchemeKind::ALL.into_iter().map(Build::Compiler).collect();
+    builds.push(Build::BinaryRewriter(LinkMode::Dynamic));
+    builds.push(Build::BinaryRewriter(LinkMode::Static));
+    builds
+}
+
+fn compile(module: &ModuleDef, kind: SchemeKind) -> CompiledModule {
+    Compiler::new(kind).compile(module).expect("workload modules always compile")
+}
+
+/// Verifies one workload module under one build vehicle.
+fn verify_cell(workload: &str, module: &ModuleDef, build: Build) -> VerifyCell {
+    let (functions, findings) = match build {
+        Build::Native => {
+            let compiled = compile(module, SchemeKind::Native);
+            (compiled.program.len(), verify_compiled(&compiled))
+        }
+        Build::Compiler(kind) => {
+            let compiled = compile(module, kind);
+            (compiled.program.len(), verify_compiled(&compiled))
+        }
+        Build::BinaryRewriter(mode) => {
+            let original = compile(module, SchemeKind::Ssp).program;
+            let mut rewritten = original.clone();
+            Rewriter::new()
+                .with_link_mode(mode)
+                .rewrite(&mut rewritten)
+                .expect("SSP workloads are always rewritable");
+            (original.len(), verify_rewritten(&original, &rewritten))
+        }
+    };
+    VerifyCell { workload: workload.to_string(), build: build.label(), functions, findings }
+}
+
+/// Runs the full verification sweep.
+pub fn run_verify(quick: bool) -> VerifyReport {
+    let builds = builds();
+    let mut cells = Vec::new();
+    for (name, module) in workload_modules(quick) {
+        for &build in &builds {
+            cells.push(verify_cell(&name, &module, build));
+        }
+    }
+    VerifyReport { cells }
+}
+
+/// Runs the injected-defect battery for one defect: a single synthetic cell
+/// whose findings come from a deliberately broken program.  The cell is
+/// labelled `inject:<defect>` so exports are unambiguous about their
+/// provenance.
+pub fn run_inject(defect: InjectedDefect) -> VerifyReport {
+    let findings = defect.run();
+    let cell = VerifyCell {
+        workload: format!("inject:{defect}"),
+        build: format!("expected {}", defect.expected_kind()),
+        functions: 1,
+        findings,
+    };
+    VerifyReport { cells: vec![cell] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_clean_over_all_builds() {
+        let report = run_verify(true);
+        // 4 SPEC + 2 servers + 2 databases, × (10 schemes + 2 link modes).
+        assert_eq!(report.cells.len(), 8 * 12);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn every_injected_defect_dirties_the_report() {
+        for defect in InjectedDefect::ALL {
+            let report = run_inject(defect);
+            assert!(!report.is_clean(), "{defect} produced no findings");
+            assert!(
+                report.cells[0].findings.iter().any(|f| f.kind == defect.expected_kind()),
+                "{defect}: {:?}",
+                report.cells[0].findings
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_through_the_json_parser() {
+        use polycanary_core::record::Envelope;
+        let report = run_inject(InjectedDefect::ClobberedCanary);
+        let json = report.envelope(true).to_json();
+        let envelope = Envelope::from_json(&json).expect("envelope parses");
+        assert_eq!(envelope.scenario, "verify");
+        assert_eq!(envelope.records.len(), 1);
+    }
+}

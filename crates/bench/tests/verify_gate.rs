@@ -1,0 +1,63 @@
+//! End-to-end gate behaviour of the static verification sweep: the clean
+//! matrix proves finding-free, every injected defect dirties it, and the
+//! export envelope flows through the same trend-tracking pipeline
+//! (`polycanary-analysis`) as every scenario export.
+
+use polycanary_analysis::diff::{diff_runs, DiffOptions};
+use polycanary_analysis::run::Run;
+use polycanary_bench::verify::{run_inject, run_verify, InjectedDefect};
+use polycanary_core::record::Envelope;
+
+#[test]
+fn quick_matrix_proves_clean_and_covers_every_build() {
+    let report = run_verify(true);
+    assert!(report.is_clean(), "{}", report.render_text());
+
+    // Every cell must carry the deployment matrix: 10 compiler schemes plus
+    // both rewriter link modes, for each of the 8 quick workloads.
+    let builds: std::collections::BTreeSet<_> =
+        report.cells.iter().map(|cell| cell.build.as_str()).collect();
+    assert_eq!(builds.len(), 12, "{builds:?}");
+    assert!(builds.iter().any(|b| b.contains("dynamic link")));
+    assert!(builds.iter().any(|b| b.contains("static link")));
+    let workloads: std::collections::BTreeSet<_> =
+        report.cells.iter().map(|cell| cell.workload.as_str()).collect();
+    assert_eq!(workloads.len(), 8, "{workloads:?}");
+}
+
+#[test]
+fn every_injected_defect_fails_the_gate_with_its_kind() {
+    for defect in InjectedDefect::ALL {
+        let report = run_inject(defect);
+        assert!(!report.is_clean(), "{defect}: gate passed a known-bad program");
+        assert!(
+            report.cells[0].findings.iter().any(|f| f.kind == defect.expected_kind()),
+            "{defect}: expected {} among {:?}",
+            defect.expected_kind(),
+            report.cells[0].findings
+        );
+    }
+}
+
+#[test]
+fn verify_envelopes_flow_through_the_analysis_pipeline() {
+    let report = run_inject(InjectedDefect::StaleRewrite);
+    let json = report.envelope(false).to_json();
+
+    // The export is a valid schema-versioned envelope ...
+    let envelope = Envelope::from_json(&json).expect("verify export parses as an envelope");
+    assert_eq!(envelope.scenario, "verify");
+    let count = envelope.records[0]
+        .get("finding_count")
+        .and_then(|value| value.as_u64())
+        .expect("cells carry finding_count");
+    assert!(count > 0);
+
+    // ... and the trend tooling ingests and diffs it like any scenario.
+    let mut old = Run::new();
+    old.ingest_json("old/verify.json", &json).expect("analysis ingests verify exports");
+    let mut new = Run::new();
+    new.ingest_json("new/verify.json", &json).expect("analysis ingests verify exports");
+    let diff = diff_runs(&old, &new, None, &DiffOptions::default());
+    assert!(!diff.has_regressions(), "identical verify runs must not diff");
+}

@@ -100,8 +100,10 @@ impl Rewriter {
     /// # Errors
     ///
     /// * [`RewriteError::NotSspProtected`] if no SSP instrumentation exists.
-    /// * [`RewriteError::InconsistentInstrumentation`] if a function has
-    ///   prologues without epilogues (or vice versa).
+    /// * [`RewriteError::InconsistentInstrumentation`] if a function's
+    ///   prologue and epilogue counts differ (prologues without epilogues,
+    ///   the reverse, or a count mismatch such as two prologues guarding a
+    ///   single check) — the diagnostic carries both per-function counts.
     /// * [`RewriteError::LayoutChanged`] if a replacement would alter a
     ///   function's encoded size (this is a bug guard; the shipped
     ///   replacement sequences are size-preserving by construction).
@@ -128,7 +130,7 @@ impl Rewriter {
             if !sites.is_instrumented() {
                 continue;
             }
-            if sites.prologues.is_empty() != sites.epilogues.is_empty() {
+            if !sites.is_balanced() {
                 return Err(RewriteError::InconsistentInstrumentation {
                     function: name,
                     prologues: sites.prologues.len(),
@@ -319,6 +321,32 @@ mod tests {
         let mut program = Compiler::new(SchemeKind::Ssp).compile(&module).unwrap().program;
         let err = Rewriter::new().rewrite(&mut program).unwrap_err();
         assert_eq!(err, RewriteError::NotSspProtected);
+    }
+
+    #[test]
+    fn count_mismatched_instrumentation_is_rejected() {
+        // Two prologues guarding a single epilogue: previously only the
+        // empty-vs-nonempty mismatch was caught; the balance check must
+        // reject any count difference and name both counts.
+        let mut program = ssp_program();
+        let id = program.function_by_name("handle_request").unwrap();
+        let mut insts = program.function(id).unwrap().insts().to_vec();
+        let sites = scan_function(&insts);
+        let prologue = sites.prologues[0];
+        let extra =
+            vec![insts[prologue.tls_load_index].clone(), insts[prologue.store_index].clone()];
+        insts.splice(prologue.store_index + 1..prologue.store_index + 1, extra);
+        program.replace_function_body(id, insts).unwrap();
+        program.finalize();
+        let err = Rewriter::new().rewrite(&mut program).unwrap_err();
+        assert_eq!(
+            err,
+            RewriteError::InconsistentInstrumentation {
+                function: "handle_request".into(),
+                prologues: 2,
+                epilogues: 1,
+            }
+        );
     }
 
     #[test]

@@ -39,8 +39,20 @@ pub struct SspSites {
 
 impl SspSites {
     /// Whether the function carries any SSP instrumentation at all.
+    ///
+    /// Note that this is deliberately an *or*: a prologue-only (or
+    /// epilogue-only) function still counts as instrumented, so the rewriter
+    /// sees it — and can then reject it via [`SspSites::is_balanced`] instead
+    /// of silently skipping a half-protected function.
     pub fn is_instrumented(&self) -> bool {
         !self.prologues.is_empty() || !self.epilogues.is_empty()
+    }
+
+    /// Whether every prologue has a matching epilogue: the site counts are
+    /// equal.  A mismatch (e.g. two prologues guarding one check) means the
+    /// function cannot be upgraded consistently.
+    pub fn is_balanced(&self) -> bool {
+        self.prologues.len() == self.epilogues.len()
     }
 }
 
@@ -155,5 +167,70 @@ mod tests {
         let sites = scan_function(&insts);
         assert_eq!(sites.prologues.len(), 2);
         assert_eq!(sites.epilogues.len(), 2);
+        assert!(sites.is_balanced());
+    }
+
+    #[test]
+    fn adjacent_prologue_sites_are_both_found() {
+        // Two back-to-back prologue pairs: the 2-instruction windows overlap
+        // ([store, load] between the pairs must not confuse the scanner).
+        let insts = vec![
+            Inst::MovTlsToReg { dst: Reg::Rax, offset: TLS_CANARY_OFFSET },
+            Inst::MovRegToFrame { src: Reg::Rax, offset: -8 },
+            Inst::MovTlsToReg { dst: Reg::Rax, offset: TLS_CANARY_OFFSET },
+            Inst::MovRegToFrame { src: Reg::Rax, offset: -8 },
+        ];
+        let sites = scan_function(&insts);
+        assert_eq!(sites.prologues.len(), 2);
+        assert_eq!(sites.prologues[0], PrologueSite { tls_load_index: 0, store_index: 1 });
+        assert_eq!(sites.prologues[1], PrologueSite { tls_load_index: 2, store_index: 3 });
+    }
+
+    #[test]
+    fn epilogue_as_the_final_instructions_is_found() {
+        // The 4-instruction check sitting flush at the end of the body (no
+        // trailing leave/ret) must still match — the window scan must reach
+        // the last full window.
+        let insts = vec![
+            Inst::Compute(10),
+            Inst::MovFrameToReg { dst: Reg::Rdx, offset: -8 },
+            Inst::XorTlsReg { dst: Reg::Rdx, offset: TLS_CANARY_OFFSET },
+            Inst::JeSkip(1),
+            Inst::CallStackChkFail,
+        ];
+        let sites = scan_function(&insts);
+        assert_eq!(sites.epilogues.len(), 1);
+        assert_eq!(sites.epilogues[0], EpilogueSite { start_index: 1, len: 4 });
+    }
+
+    #[test]
+    fn non_canary_tls_offset_does_not_match() {
+        // Same shapes, wrong TLS word (0x30 is not the canary): neither the
+        // prologue nor the epilogue pattern may fire.
+        let insts = vec![
+            Inst::MovTlsToReg { dst: Reg::Rax, offset: 0x30 },
+            Inst::MovRegToFrame { src: Reg::Rax, offset: -8 },
+            Inst::MovFrameToReg { dst: Reg::Rdx, offset: -8 },
+            Inst::XorTlsReg { dst: Reg::Rdx, offset: 0x30 },
+            Inst::JeSkip(1),
+            Inst::CallStackChkFail,
+        ];
+        let sites = scan_function(&insts);
+        assert!(!sites.is_instrumented());
+    }
+
+    #[test]
+    fn unbalanced_sites_are_instrumented_but_not_balanced() {
+        // Prologue without an epilogue: instrumented (the rewriter must see
+        // it) but unbalanced (the rewriter must reject it).
+        let insts = vec![
+            Inst::MovTlsToReg { dst: Reg::Rax, offset: TLS_CANARY_OFFSET },
+            Inst::MovRegToFrame { src: Reg::Rax, offset: -8 },
+            Inst::Leave,
+            Inst::Ret,
+        ];
+        let sites = scan_function(&insts);
+        assert!(sites.is_instrumented());
+        assert!(!sites.is_balanced());
     }
 }

@@ -1,0 +1,235 @@
+//! Control-flow graph construction over `&[Inst]` function bodies.
+//!
+//! The instruction set encodes control flow as *relative skips*: a branch at
+//! index `i` with skip `n` transfers to index `i + 1 + n` when taken (see
+//! [`Inst::branch_skip`]).  Block leaders are therefore the function entry,
+//! every branch target, and every instruction following a branch, call or
+//! return; successor edges follow the interpreter semantics exactly —
+//! `jmp` has only its taken edge, `ret` has none, and
+//! [`Inst::CallStackChkFail`] aborts the process, so it has no successors
+//! either.
+//!
+//! The graph is deliberately generic (no canary knowledge): it is the
+//! substrate for the dataflow pass in [`crate::dataflow`] and is exposed so
+//! future passes — instruction scheduling, dead-store elimination — can
+//! reuse it unchanged.
+
+use polycanary_vm::inst::Inst;
+
+/// One basic block: the half-open instruction range `[start, end)` plus its
+/// successor edges (block ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the block's first instruction (its leader).
+    pub start: usize,
+    /// One past the index of the block's last instruction.
+    pub end: usize,
+    /// Ids of the blocks control can transfer to from this block's last
+    /// instruction.  A branch target beyond the end of the body contributes
+    /// no edge (control falls off the function).
+    pub successors: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// The instruction range of this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of one function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// Instruction index → id of the containing block.
+    block_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `insts`.  An empty body yields an empty graph.
+    pub fn build(insts: &[Inst]) -> Cfg {
+        if insts.is_empty() {
+            return Cfg { blocks: Vec::new(), block_index: Vec::new() };
+        }
+
+        // Leaders: entry, branch targets, and the instruction after every
+        // branch, call, return or abort.
+        let mut leader = vec![false; insts.len()];
+        leader[0] = true;
+        for (i, inst) in insts.iter().enumerate() {
+            if let Some(skip) = inst.branch_skip() {
+                if let Some(target) = i.checked_add(1 + skip) {
+                    if target < insts.len() {
+                        leader[target] = true;
+                    }
+                }
+                if i + 1 < insts.len() {
+                    leader[i + 1] = true;
+                }
+            } else if (inst.is_call() || !inst.falls_through()) && i + 1 < insts.len() {
+                leader[i + 1] = true;
+            }
+        }
+
+        // Carve blocks and index instructions.
+        let mut blocks = Vec::new();
+        let mut block_index = vec![0usize; insts.len()];
+        let mut start = 0;
+        for i in 0..insts.len() {
+            block_index[i] = blocks.len();
+            let block_ends = i + 1 == insts.len() || leader[i + 1];
+            if block_ends {
+                blocks.push(BasicBlock { start, end: i + 1, successors: Vec::new() });
+                start = i + 1;
+            }
+        }
+
+        // Successor edges from each block's last instruction.
+        for id in 0..blocks.len() {
+            let last = blocks[id].end - 1;
+            let inst = &insts[last];
+            let mut successors = Vec::new();
+            if inst.falls_through() && blocks[id].end < insts.len() {
+                successors.push(block_index[blocks[id].end]);
+            }
+            if let Some(skip) = inst.branch_skip() {
+                if let Some(target) = last.checked_add(1 + skip) {
+                    if target < insts.len() {
+                        let succ = block_index[target];
+                        if !successors.contains(&succ) {
+                            successors.push(succ);
+                        }
+                    }
+                }
+            }
+            blocks[id].successors = successors;
+        }
+
+        Cfg { blocks, block_index }
+    }
+
+    /// The blocks of the graph in instruction order (block 0 is the entry).
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Id of the block containing instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the body the graph was built from.
+    pub fn block_of(&self, index: usize) -> usize {
+        self.block_index[index]
+    }
+
+    /// Per-block reachability from the entry block.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut work = vec![0usize];
+        seen[0] = true;
+        while let Some(id) = work.pop() {
+            for &succ in &self.blocks[id].successors {
+                if !seen[succ] {
+                    seen[succ] = true;
+                    work.push(succ);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycanary_vm::reg::Reg;
+
+    #[test]
+    fn straight_line_body_is_one_block() {
+        let insts =
+            vec![Inst::PushReg(Reg::Rbp), Inst::Compute(10), Inst::Nop, Inst::Leave, Inst::Ret];
+        let cfg = Cfg::build(&insts);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].range(), 0..5);
+        assert!(cfg.blocks()[0].successors.is_empty(), "ret has no successors");
+    }
+
+    #[test]
+    fn conditional_branch_splits_three_ways() {
+        // 0: test  1: je +1  2: fail  3: nop  4: ret
+        let insts = vec![
+            Inst::TestReg(Reg::Rax),
+            Inst::JeSkip(1),
+            Inst::CallStackChkFail,
+            Inst::Nop,
+            Inst::Ret,
+        ];
+        let cfg = Cfg::build(&insts);
+        // [test, je] / [fail] / [nop, ret]
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.blocks()[0].successors, vec![1, 2]);
+        assert!(cfg.blocks()[1].successors.is_empty(), "__stack_chk_fail aborts");
+        assert!(cfg.blocks()[2].successors.is_empty());
+        assert_eq!(cfg.block_of(2), 1);
+        assert_eq!(cfg.block_of(4), 2);
+    }
+
+    #[test]
+    fn unconditional_jump_has_no_fall_through_edge() {
+        // 0: jmp +1  1: nop (unreachable)  2: ret
+        let insts = vec![Inst::JmpSkip(1), Inst::Nop, Inst::Ret];
+        let cfg = Cfg::build(&insts);
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.blocks()[0].successors, vec![2]);
+        let reachable = cfg.reachable();
+        assert!(reachable[0] && !reachable[1] && reachable[2]);
+    }
+
+    #[test]
+    fn call_starts_a_new_block_with_a_fall_through_edge() {
+        use polycanary_vm::inst::FuncId;
+        let insts = vec![Inst::CallFn(FuncId(1)), Inst::Compute(5), Inst::Ret];
+        let cfg = Cfg::build(&insts);
+        assert_eq!(cfg.blocks().len(), 2);
+        assert_eq!(cfg.blocks()[0].successors, vec![1]);
+    }
+
+    #[test]
+    fn branch_target_past_the_end_contributes_no_edge() {
+        let insts = vec![Inst::TestReg(Reg::Rax), Inst::JeSkip(5), Inst::Ret];
+        let cfg = Cfg::build(&insts);
+        let last = &cfg.blocks()[cfg.block_of(1)];
+        // Only the fall-through edge to the ret block survives.
+        assert_eq!(last.successors, vec![cfg.block_of(2)]);
+    }
+
+    #[test]
+    fn empty_body_yields_an_empty_graph() {
+        let cfg = Cfg::build(&[]);
+        assert!(cfg.blocks().is_empty());
+        assert!(cfg.reachable().is_empty());
+    }
+
+    #[test]
+    fn blocks_partition_the_body() {
+        let insts = vec![
+            Inst::TestReg(Reg::Rax),
+            Inst::JneSkip(2),
+            Inst::Compute(1),
+            Inst::JmpSkip(1),
+            Inst::Compute(2),
+            Inst::Ret,
+        ];
+        let cfg = Cfg::build(&insts);
+        let mut covered = vec![0usize; insts.len()];
+        for block in cfg.blocks() {
+            for i in block.range() {
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "every instruction in exactly one block");
+    }
+}

@@ -1,0 +1,297 @@
+//! Forward dataflow / abstract interpretation over one function body.
+//!
+//! The pass tracks an abstract frame state per basic block of the
+//! [`crate::cfg::Cfg`]:
+//!
+//! * per canary slot, a *may*-set over `{Unset, Stored, Clobbered, Checked}`
+//!   (joins are bitwise unions, so "some path reaches here with the slot
+//!   unset" is never lost),
+//! * whether every path since the last canary store has passed an epilogue
+//!   check, and
+//! * what last defined the zero flag — a canary comparison or unrelated ALU
+//!   work — so a `je; __stack_chk_fail` guard only counts as an epilogue
+//!   check when it actually tests the canary.
+//!
+//! Check semantics follow the interpreter: [`Inst::CallStackChkFail`] aborts
+//! (its block has no successors), so the *taken* edge of a `je +1` guarding
+//! it is exactly the "check passed" path; [`Inst::CallCheckCanary32`] either
+//! aborts or returns with ZF set, so falling through it also proves the
+//! check passed.
+//!
+//! On top of the fixpoint, four of the five checks are evaluated
+//! (*unprotected-buffer*, *unchecked-return*, *clobbered-canary*,
+//! *dead-check*); *rewrite-soundness* is structural and lives in
+//! [`crate::rewrite_check`].
+
+use polycanary_vm::inst::Inst;
+use polycanary_vm::tls::TLS_CANARY_OFFSET;
+
+use crate::cfg::Cfg;
+use crate::finding::{CheckKind, Finding};
+use crate::policy::ProtectionPolicy;
+
+// May-set bits of one canary slot.
+const UNSET: u8 = 1 << 0;
+const STORED: u8 = 1 << 1;
+const CLOBBERED: u8 = 1 << 2;
+const CHECKED: u8 = 1 << 3;
+
+// May-set bits of the per-path "passed an epilogue check" property.
+const CHECKED_YES: u8 = 1 << 0;
+const CHECKED_NO: u8 = 1 << 1;
+
+// May-set bits of the zero-flag provenance.
+const FLAGS_CANARY: u8 = 1 << 0;
+const FLAGS_OTHER: u8 = 1 << 1;
+
+/// Abstract frame state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    /// One may-set per policy slot, in [`ProtectionPolicy::slots`] order.
+    slots: Vec<u8>,
+    checked: u8,
+    flags: u8,
+}
+
+impl AbsState {
+    fn entry(slot_count: usize) -> AbsState {
+        AbsState { slots: vec![UNSET; slot_count], checked: CHECKED_NO, flags: FLAGS_OTHER }
+    }
+
+    /// Bitwise-union join; returns whether `self` changed.
+    fn join(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            let joined = *mine | theirs;
+            changed |= joined != *mine;
+            *mine = joined;
+        }
+        let checked = self.checked | other.checked;
+        let flags = self.flags | other.flags;
+        changed |= checked != self.checked || flags != self.flags;
+        self.checked = checked;
+        self.flags = flags;
+        changed
+    }
+
+    /// The state after a passed epilogue check: every stored slot is now
+    /// verified and every path through this point is checked.
+    fn apply_check(&self) -> AbsState {
+        let slots = self
+            .slots
+            .iter()
+            .map(|&bits| if bits & STORED != 0 { (bits & !STORED) | CHECKED } else { bits })
+            .collect();
+        AbsState { slots, checked: CHECKED_YES, flags: self.flags }
+    }
+}
+
+/// Whether `inst` compares the canary (as opposed to unrelated ALU work).
+fn is_canary_compare(inst: &Inst, policy: &ProtectionPolicy) -> bool {
+    match inst {
+        Inst::XorTlsReg { offset, .. } => *offset == TLS_CANARY_OFFSET,
+        Inst::CmpFrameReg { offset, .. } => policy.slots.contains(offset),
+        Inst::CallCheckCanary32 => true,
+        _ => false,
+    }
+}
+
+/// Whether the instruction at `index` is the conditional guard of an abort:
+/// `je +1` immediately followed by `__stack_chk_fail`.
+fn is_guard_site(insts: &[Inst], index: usize) -> bool {
+    matches!(insts.get(index), Some(Inst::JeSkip(1)))
+        && matches!(insts.get(index + 1), Some(Inst::CallStackChkFail))
+}
+
+/// Per-instruction transfer function.  `report` receives findings during the
+/// final reporting pass and is `None` while iterating to the fixpoint.
+fn transfer(
+    state: &mut AbsState,
+    inst: &Inst,
+    index: usize,
+    policy: &ProtectionPolicy,
+    mut report: Option<&mut Vec<Finding>>,
+) {
+    let mut emit = |kind: CheckKind, message: String| {
+        if let Some(findings) = report.as_deref_mut() {
+            findings.push(Finding {
+                kind,
+                function: String::new(), // filled in by the caller
+                scheme: policy.scheme.to_string(),
+                index: Some(index),
+                message,
+            });
+        }
+    };
+
+    // Statically-bounded frame stores: canary-slot stores and clobbers.
+    if let Some((offset, width)) = inst.frame_store() {
+        for (slot_index, &slot) in policy.slots.iter().enumerate() {
+            if !ProtectionPolicy::overlaps_slot(slot, offset, width) {
+                continue;
+            }
+            let bits = state.slots[slot_index];
+            if offset == slot && width == 8 {
+                // A full-width store at the slot: the canonical canary store.
+                // Re-storing a live (stored, unchecked) canary is a clobber —
+                // no scheme writes the same slot twice before checking it.
+                if bits & STORED != 0 {
+                    emit(
+                        CheckKind::ClobberedCanary,
+                        format!("canary slot {slot} overwritten while live ({inst})"),
+                    );
+                }
+                let mut next = 0;
+                if bits & (UNSET | CHECKED) != 0 {
+                    next |= STORED;
+                }
+                if bits & (STORED | CLOBBERED) != 0 {
+                    next |= CLOBBERED;
+                }
+                state.slots[slot_index] = next;
+                // A fresh store opens a new protection region: the previous
+                // check (if any) no longer covers the return.
+                state.checked = CHECKED_NO;
+            } else {
+                // Partial or misaligned overlap — never a legitimate canary
+                // store in any scheme, so a live canary is being corrupted.
+                if bits & STORED != 0 {
+                    emit(
+                        CheckKind::ClobberedCanary,
+                        format!(
+                            "store [{offset}, {}) overlaps canary slot {slot} ({inst})",
+                            i64::from(offset) + i64::from(width)
+                        ),
+                    );
+                    state.slots[slot_index] = (bits & !STORED) | CLOBBERED;
+                }
+            }
+        }
+    }
+
+    // Buffer writes (the overflow vectors a canary guards against).
+    if let Some(offset) = inst.input_copy_offset() {
+        if policy.required {
+            let unset: Vec<i32> = policy
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| state.slots[i] & UNSET != 0)
+                .map(|(_, &slot)| slot)
+                .collect();
+            if !unset.is_empty() {
+                emit(
+                    CheckKind::UnprotectedBuffer,
+                    format!(
+                        "buffer write at {offset} reachable with canary slot(s) {unset:?} unset \
+                         ({inst})"
+                    ),
+                );
+            }
+        }
+        // Writing the frame after a check re-opens the attack window.
+        state.checked = CHECKED_NO;
+    }
+
+    // Returns must be covered by a check on every path.
+    if inst.is_ret() && policy.required && state.checked & CHECKED_NO != 0 {
+        emit(
+            CheckKind::UncheckedReturn,
+            "return reachable without passing an epilogue canary check".to_string(),
+        );
+    }
+
+    // CallCheckCanary32 aborts on mismatch, so falling through it proves the
+    // check passed (the interpreter sets ZF on the success path).
+    if matches!(inst, Inst::CallCheckCanary32) {
+        *state = state.apply_check();
+    }
+
+    // Zero-flag provenance.
+    if inst.sets_zero_flag() {
+        state.flags = if is_canary_compare(inst, policy) { FLAGS_CANARY } else { FLAGS_OTHER };
+    }
+}
+
+/// Runs the dataflow pass over `insts` under `policy` and returns every
+/// finding, with `function` filled into each.
+pub fn analyze_function(function: &str, insts: &[Inst], policy: &ProtectionPolicy) -> Vec<Finding> {
+    if policy.slots.is_empty() || insts.is_empty() {
+        // Nothing to verify: the pass policy does not require protection
+        // (or the scheme maintains no slots, e.g. Native).
+        return Vec::new();
+    }
+
+    let cfg = Cfg::build(insts);
+    let blocks = cfg.blocks();
+
+    // Fixpoint over block entry states.
+    let mut in_states: Vec<Option<AbsState>> = vec![None; blocks.len()];
+    in_states[0] = Some(AbsState::entry(policy.slots.len()));
+    let mut work: Vec<usize> = vec![0];
+    while let Some(id) = work.pop() {
+        let mut state = in_states[id].clone().expect("only seeded blocks are enqueued");
+        for index in blocks[id].range() {
+            transfer(&mut state, &insts[index], index, policy, None);
+        }
+        let last = blocks[id].end - 1;
+        // The taken edge of a canary-guarded `je +1; __stack_chk_fail` is
+        // the "check passed" path.
+        let guarded_check = is_guard_site(insts, last) && state.flags & FLAGS_CANARY != 0;
+        let taken_block = insts[last]
+            .branch_skip()
+            .and_then(|skip| last.checked_add(1 + skip))
+            .filter(|&target| target < insts.len())
+            .map(|target| cfg.block_of(target));
+        for &succ in &blocks[id].successors {
+            let edge_state = if guarded_check && Some(succ) == taken_block {
+                state.apply_check()
+            } else {
+                state.clone()
+            };
+            match &mut in_states[succ] {
+                Some(existing) => {
+                    if existing.join(&edge_state) && !work.contains(&succ) {
+                        work.push(succ);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(edge_state);
+                    work.push(succ);
+                }
+            }
+        }
+    }
+
+    // Reporting pass: replay each reached block once against its final entry
+    // state.
+    let mut findings = Vec::new();
+    for (id, block) in blocks.iter().enumerate() {
+        let Some(entry) = &in_states[id] else { continue };
+        let mut state = entry.clone();
+        for index in block.range() {
+            transfer(&mut state, &insts[index], index, policy, Some(&mut findings));
+        }
+    }
+
+    // Dead checks: epilogue check sites in blocks unreachable from entry.
+    let reachable = cfg.reachable();
+    for index in 0..insts.len() {
+        let is_check_site =
+            is_guard_site(insts, index) || matches!(insts[index], Inst::CallCheckCanary32);
+        if is_check_site && !reachable[cfg.block_of(index)] {
+            findings.push(Finding {
+                kind: CheckKind::DeadCheck,
+                function: String::new(),
+                scheme: policy.scheme.to_string(),
+                index: Some(index),
+                message: "epilogue check unreachable from function entry".to_string(),
+            });
+        }
+    }
+
+    for finding in &mut findings {
+        finding.function = function.to_string();
+    }
+    findings
+}

@@ -1,0 +1,127 @@
+//! Typed findings emitted by the verifier's check suite.
+
+use polycanary_core::record::Record;
+
+/// The five invariant checks the verifier runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// A buffer write is reachable while a canary slot may still be unset,
+    /// in a function the pass policy says needs protection.
+    UnprotectedBuffer,
+    /// A `ret` is reachable without passing an epilogue check on some path.
+    UncheckedReturn,
+    /// A store overlaps a canary slot between the prologue store and the
+    /// epilogue check.
+    ClobberedCanary,
+    /// An epilogue check is unreachable from the function entry.
+    DeadCheck,
+    /// Rewriter output violates its contract: un-replaced sites, unbalanced
+    /// counts, stray TLS canary accesses, or a changed layout.
+    RewriteSoundness,
+}
+
+impl CheckKind {
+    /// Every check kind, in severity-agnostic reporting order.
+    pub const ALL: [CheckKind; 5] = [
+        CheckKind::UnprotectedBuffer,
+        CheckKind::UncheckedReturn,
+        CheckKind::ClobberedCanary,
+        CheckKind::DeadCheck,
+        CheckKind::RewriteSoundness,
+    ];
+
+    /// Stable machine-readable label (used in records and CLI output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckKind::UnprotectedBuffer => "unprotected-buffer",
+            CheckKind::UncheckedReturn => "unchecked-return",
+            CheckKind::ClobberedCanary => "clobbered-canary",
+            CheckKind::DeadCheck => "dead-check",
+            CheckKind::RewriteSoundness => "rewrite-soundness",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One proven violation of a canary invariant.
+///
+/// Every finding is a defect: the verifier stays silent on clean programs,
+/// so presence of any finding fails a `harness verify` run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which check fired.
+    pub kind: CheckKind,
+    /// The function the violation was found in.
+    pub function: String,
+    /// The scheme the function was (supposed to be) protected with.
+    pub scheme: String,
+    /// Instruction index the finding anchors to, when one exists.
+    pub index: Option<usize>,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The self-describing record form, following the
+    /// `polycanary_analysis::diff::Finding` idiom so `harness diff` and the
+    /// analysis crate consume verifier exports for free.
+    pub fn record(&self) -> Record {
+        let record = Record::new()
+            .field("kind", self.kind.label())
+            .field("function", self.function.as_str())
+            .field("scheme", self.scheme.as_str())
+            .field("message", self.message.as_str());
+        match self.index {
+            Some(index) => record.field("index", index),
+            None => record,
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} ({}): {}", self.kind, self.function, self.scheme, self.message)?;
+        if let Some(index) = self.index {
+            write!(f, " (at inst {index})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycanary_core::record::Value;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<_> = CheckKind::ALL.iter().map(CheckKind::label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert!(labels.contains(&"unprotected-buffer"));
+    }
+
+    #[test]
+    fn record_carries_all_fields() {
+        let finding = Finding {
+            kind: CheckKind::DeadCheck,
+            function: "victim".into(),
+            scheme: "SSP".into(),
+            index: Some(9),
+            message: "check unreachable".into(),
+        };
+        let record = finding.record();
+        assert_eq!(record.get("kind"), Some(&Value::from("dead-check")));
+        assert_eq!(record.get("function"), Some(&Value::from("victim")));
+        assert_eq!(record.get("index"), Some(&Value::from(9usize)));
+        assert!(finding.to_string().contains("dead-check"));
+        assert!(finding.to_string().contains("inst 9"));
+    }
+}

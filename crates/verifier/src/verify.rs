@@ -1,0 +1,149 @@
+//! Top-level entry points tying CFG, dataflow and policy together.
+
+use polycanary_compiler::CompiledModule;
+use polycanary_vm::inst::Inst;
+
+use crate::dataflow::analyze_function;
+use crate::finding::Finding;
+use crate::policy::ProtectionPolicy;
+
+/// Verifies one function body against `policy` and returns every finding.
+pub fn verify_function(function: &str, insts: &[Inst], policy: &ProtectionPolicy) -> Vec<Finding> {
+    analyze_function(function, insts, policy)
+}
+
+/// Verifies every function of a compiled module against the scheme and pass
+/// policy the compiler recorded for it.
+///
+/// A clean compiler is expected to produce zero findings for every scheme ×
+/// workload combination; anything returned here is a code-generation defect.
+pub fn verify_compiled(module: &CompiledModule) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (id, func) in module.program.iter() {
+        let scheme = module.function_schemes[id.0];
+        let frame = &module.frames[id.0];
+        let policy =
+            ProtectionPolicy::new(scheme, frame.info.protected, &frame.info.critical_canary_slots);
+        findings.extend(verify_function(func.name(), func.insts(), &policy));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polycanary_compiler::{Compiler, FunctionBuilder, ModuleBuilder};
+    use polycanary_core::scheme::SchemeKind;
+    use polycanary_vm::reg::Reg;
+    use polycanary_vm::tls::TLS_CANARY_OFFSET;
+
+    use crate::finding::CheckKind;
+
+    fn victim() -> polycanary_compiler::ModuleDef {
+        ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("handle_request")
+                    .buffer("buf", 64)
+                    .safe_copy("buf")
+                    .compute(100)
+                    .returns(0)
+                    .build(),
+            )
+            .function(
+                FunctionBuilder::new("main").scalar("x").call("handle_request").returns(0).build(),
+            )
+            .entry("main")
+            .build()
+            .expect("victim module is well-formed")
+    }
+
+    #[test]
+    fn every_scheme_compiles_to_a_clean_module() {
+        for kind in SchemeKind::ALL {
+            let module = Compiler::new(kind).compile(&victim()).expect("victim compiles");
+            let findings = verify_compiled(&module);
+            assert!(findings.is_empty(), "{kind}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn hand_built_ssp_body_is_clean() {
+        // The canonical SSP shape the compiler emits.
+        let insts = vec![
+            Inst::PushReg(Reg::Rbp),
+            Inst::MovRegReg { dst: Reg::Rbp, src: Reg::Rsp },
+            Inst::MovTlsToReg { dst: Reg::Rax, offset: TLS_CANARY_OFFSET },
+            Inst::MovRegToFrame { src: Reg::Rax, offset: -8 },
+            Inst::CopyInputToFrameBounded { offset: -72, max_len: 64 },
+            Inst::MovFrameToReg { dst: Reg::Rdx, offset: -8 },
+            Inst::XorTlsReg { dst: Reg::Rdx, offset: TLS_CANARY_OFFSET },
+            Inst::JeSkip(1),
+            Inst::CallStackChkFail,
+            Inst::Leave,
+            Inst::Ret,
+        ];
+        let policy = ProtectionPolicy::new(SchemeKind::Ssp, true, &[]);
+        assert_eq!(verify_function("f", &insts, &policy), Vec::new());
+    }
+
+    #[test]
+    fn buffer_write_before_the_prologue_store_is_unprotected() {
+        let insts = vec![
+            Inst::PushReg(Reg::Rbp),
+            Inst::MovRegReg { dst: Reg::Rbp, src: Reg::Rsp },
+            Inst::CopyInputToFrame { offset: -72 }, // before the canary store
+            Inst::MovTlsToReg { dst: Reg::Rax, offset: TLS_CANARY_OFFSET },
+            Inst::MovRegToFrame { src: Reg::Rax, offset: -8 },
+            Inst::MovFrameToReg { dst: Reg::Rdx, offset: -8 },
+            Inst::XorTlsReg { dst: Reg::Rdx, offset: TLS_CANARY_OFFSET },
+            Inst::JeSkip(1),
+            Inst::CallStackChkFail,
+            Inst::Leave,
+            Inst::Ret,
+        ];
+        let policy = ProtectionPolicy::new(SchemeKind::Ssp, true, &[]);
+        let findings = verify_function("f", &insts, &policy);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, CheckKind::UnprotectedBuffer);
+        assert_eq!(findings[0].index, Some(2));
+    }
+
+    #[test]
+    fn unrelated_zero_flag_guard_is_not_an_epilogue_check() {
+        // A je/__stack_chk_fail pair fed by scalar ALU work must not count
+        // as a canary check: the ret stays unchecked on every path.
+        let insts = vec![
+            Inst::MovTlsToReg { dst: Reg::Rax, offset: TLS_CANARY_OFFSET },
+            Inst::MovRegToFrame { src: Reg::Rax, offset: -8 },
+            Inst::TestReg(Reg::Rcx), // unrelated comparison
+            Inst::JeSkip(1),
+            Inst::CallStackChkFail,
+            Inst::Leave,
+            Inst::Ret,
+        ];
+        let policy = ProtectionPolicy::new(SchemeKind::Ssp, true, &[]);
+        let findings = verify_function("f", &insts, &policy);
+        assert!(findings.iter().any(|f| f.kind == CheckKind::UncheckedReturn), "{findings:?}");
+    }
+
+    #[test]
+    fn split_scheme_tracks_both_slots() {
+        let module = Compiler::new(SchemeKind::Pssp).compile(&victim()).expect("compiles");
+        assert!(verify_compiled(&module).is_empty());
+
+        // Clobber the second canary word (-16) after the prologue: only a
+        // verifier tracking all region slots catches this.
+        let frame = module.frame("handle_request").expect("frame exists");
+        assert!(frame.info.protected);
+        let id = module.by_name["handle_request"];
+        let mut insts = module.program.function(id).expect("function exists").insts().to_vec();
+        let store = insts
+            .iter()
+            .rposition(|i| matches!(i, Inst::MovRegToFrame { offset: -16, .. }))
+            .expect("P-SSP prologue stores -16");
+        insts.insert(store + 1, Inst::MovImmToFrame { offset: -16, imm: 0 });
+        let policy = ProtectionPolicy::new(SchemeKind::Pssp, true, &[]);
+        let findings = verify_function("handle_request", &insts, &policy);
+        assert!(findings.iter().any(|f| f.kind == CheckKind::ClobberedCanary), "{findings:?}");
+    }
+}

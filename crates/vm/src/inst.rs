@@ -419,6 +419,90 @@ impl Inst {
     pub fn is_ret(&self) -> bool {
         matches!(self, Inst::Ret)
     }
+
+    // ---- CFG-support accessors --------------------------------------------
+    //
+    // Control-flow and memory-effect classification consumed by CFG builders
+    // and dataflow passes (the `polycanary-verifier` crate); kept here so the
+    // classification lives next to the instruction set and cannot drift when
+    // variants are added.
+
+    /// For a branch (`je`/`jne`/`jmp`), the number of following instructions
+    /// skipped when the branch is taken: the taken-edge target of the
+    /// instruction at index `i` is index `i + 1 + skip`.
+    pub fn branch_skip(&self) -> Option<usize> {
+        match self {
+            Inst::JeSkip(n) | Inst::JneSkip(n) | Inst::JmpSkip(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a conditional branch (both the taken and the
+    /// fall-through edge are possible).
+    pub fn is_conditional_branch(&self) -> bool {
+        matches!(self, Inst::JeSkip(_) | Inst::JneSkip(_))
+    }
+
+    /// Whether execution can continue at the next instruction.
+    ///
+    /// `ret` leaves the function, `jmp` always takes its skip edge, and
+    /// `__stack_chk_fail` aborts the process ([`crate::error::Fault::CanaryViolation`]) —
+    /// none of them has a fall-through successor.  Every other instruction
+    /// (including [`Inst::CallCheckCanary32`], which returns with ZF set when
+    /// the check passes) falls through.
+    pub fn falls_through(&self) -> bool {
+        !matches!(self, Inst::Ret | Inst::JmpSkip(_) | Inst::CallStackChkFail)
+    }
+
+    /// The `(offset, width)` in bytes of a frame store with a statically
+    /// known extent: the instruction writes `[offset, offset + width)`
+    /// relative to `%rbp`.
+    ///
+    /// The *unbounded* [`Inst::CopyInputToFrame`] is deliberately excluded —
+    /// its extent depends on the process input, so it is a runtime overflow
+    /// vector, not a statically decidable write.
+    pub fn frame_store(&self) -> Option<(i32, u32)> {
+        match self {
+            Inst::MovRegToFrame { offset, .. } => Some((*offset, 8)),
+            Inst::MovRegToFrame32 { offset, .. } | Inst::MovImmToFrame { offset, .. } => {
+                Some((*offset, 4))
+            }
+            Inst::CopyInputToFrameBounded { offset, max_len } => Some((*offset, *max_len)),
+            _ => None,
+        }
+    }
+
+    /// The destination frame offset of an input-copy pseudo-instruction
+    /// (bounded or unbounded) — the writes a stack protector guards against.
+    pub fn input_copy_offset(&self) -> Option<i32> {
+        match self {
+            Inst::CopyInputToFrame { offset } | Inst::CopyInputToFrameBounded { offset, .. } => {
+                Some(*offset)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether executing the instruction (re)defines the zero flag.
+    ///
+    /// Mirrors the interpreter exactly: the ALU instructions compare/compute
+    /// into ZF, and [`Inst::CallCheckCanary32`] sets ZF on a passing check
+    /// (on a failing one it never returns).
+    pub fn sets_zero_flag(&self) -> bool {
+        matches!(
+            self,
+            Inst::XorRegReg { .. }
+                | Inst::XorTlsReg { .. }
+                | Inst::AddRegReg { .. }
+                | Inst::ShlRegImm { .. }
+                | Inst::ShrRegImm { .. }
+                | Inst::OrRegReg { .. }
+                | Inst::CmpFrameReg { .. }
+                | Inst::CmpRegImm { .. }
+                | Inst::TestReg(_)
+                | Inst::CallCheckCanary32
+        )
+    }
 }
 
 impl fmt::Display for Inst {
@@ -592,6 +676,68 @@ mod tests {
         assert!(!Inst::Leave.is_ret());
     }
 
+    /// Number of `Inst` variants, pinned by [`variant_ordinal`]'s exhaustive
+    /// match below.
+    const VARIANT_COUNT: usize = 46;
+
+    /// Sequential ordinal of an instruction's variant.
+    ///
+    /// The match is exhaustive *without a wildcard arm* (the crate-internal
+    /// view of the `#[non_exhaustive]` enum), so adding a variant fails this
+    /// module at compile time until both this function and the sample list in
+    /// `every_instruction_has_nonzero_size_and_cycles` are extended — a new
+    /// instruction can't silently inherit an untested size or cycle cost.
+    fn variant_ordinal(inst: &Inst) -> usize {
+        match inst {
+            Inst::PushReg(_) => 0,
+            Inst::PopReg(_) => 1,
+            Inst::MovRegReg { .. } => 2,
+            Inst::SubRspImm(_) => 3,
+            Inst::AddRspImm(_) => 4,
+            Inst::Leave => 5,
+            Inst::Ret => 6,
+            Inst::MovTlsToReg { .. } => 7,
+            Inst::MovRegToTls { .. } => 8,
+            Inst::MovRegToFrame { .. } => 9,
+            Inst::MovFrameToReg { .. } => 10,
+            Inst::MovFrameToReg32 { .. } => 11,
+            Inst::MovRegToFrame32 { .. } => 12,
+            Inst::MovImmToReg { .. } => 13,
+            Inst::MovImmToFrame { .. } => 14,
+            Inst::LeaFrameToReg { .. } => 15,
+            Inst::MovMemToReg { .. } => 16,
+            Inst::MovRegToMem { .. } => 17,
+            Inst::XorRegReg { .. } => 18,
+            Inst::XorTlsReg { .. } => 19,
+            Inst::AddRegReg { .. } => 20,
+            Inst::ShlRegImm { .. } => 21,
+            Inst::ShrRegImm { .. } => 22,
+            Inst::OrRegReg { .. } => 23,
+            Inst::CmpFrameReg { .. } => 24,
+            Inst::CmpRegImm { .. } => 25,
+            Inst::TestReg(_) => 26,
+            Inst::JeSkip(_) => 27,
+            Inst::JneSkip(_) => 28,
+            Inst::JmpSkip(_) => 29,
+            Inst::CallFn(_) => 30,
+            Inst::CallStackChkFail => 31,
+            Inst::CallCheckCanary32 => 32,
+            Inst::Nop => 33,
+            Inst::Rdrand(_) => 34,
+            Inst::Rdtsc => 35,
+            Inst::AesEncryptFrame { .. } => 36,
+            Inst::RecordCanaryAddress { .. } => 37,
+            Inst::PopCanaryAddress => 38,
+            Inst::LinkCanaryPush { .. } => 39,
+            Inst::LinkCanaryPop { .. } => 40,
+            Inst::CopyInputToFrame { .. } => 41,
+            Inst::CopyInputToFrameBounded { .. } => 42,
+            Inst::InputLenToReg(_) => 43,
+            Inst::OutputReg(_) => 44,
+            Inst::Compute(_) => 45,
+        }
+    }
+
     #[test]
     fn every_instruction_has_nonzero_size_and_cycles() {
         let samples = vec![
@@ -642,11 +788,78 @@ mod tests {
             Inst::OutputReg(Reg::Rax),
             Inst::Compute(100),
         ];
+        let mut covered = [false; VARIANT_COUNT];
         for inst in samples {
+            covered[variant_ordinal(&inst)] = true;
             assert!(inst.encoded_size() > 0, "{inst} has zero size");
             assert!(inst.cycles() > 0, "{inst} has zero cycles");
             // Display must never be empty (C-DEBUG-NONEMPTY analogue).
             assert!(!inst.to_string().is_empty());
+        }
+        let missing: Vec<usize> = (0..VARIANT_COUNT).filter(|&ordinal| !covered[ordinal]).collect();
+        assert!(missing.is_empty(), "sample list misses variant ordinal(s) {missing:?}");
+    }
+
+    #[test]
+    fn branch_skip_and_fall_through_classification() {
+        assert_eq!(Inst::JeSkip(1).branch_skip(), Some(1));
+        assert_eq!(Inst::JneSkip(2).branch_skip(), Some(2));
+        assert_eq!(Inst::JmpSkip(3).branch_skip(), Some(3));
+        assert_eq!(Inst::Nop.branch_skip(), None);
+        assert!(Inst::JeSkip(1).is_conditional_branch());
+        assert!(!Inst::JmpSkip(1).is_conditional_branch());
+        // Fall-through: jmp always diverts, ret leaves, __stack_chk_fail
+        // aborts; the patched 32-bit check *returns* on success.
+        assert!(!Inst::JmpSkip(1).falls_through());
+        assert!(!Inst::Ret.falls_through());
+        assert!(!Inst::CallStackChkFail.falls_through());
+        assert!(Inst::JeSkip(1).falls_through());
+        assert!(Inst::CallCheckCanary32.falls_through());
+        assert!(Inst::CallFn(FuncId(0)).falls_through());
+    }
+
+    #[test]
+    fn frame_store_extents_match_interpreter_widths() {
+        assert_eq!(Inst::MovRegToFrame { src: Reg::Rax, offset: -8 }.frame_store(), Some((-8, 8)));
+        assert_eq!(
+            Inst::MovRegToFrame32 { src: Reg::Rdi, offset: -8 }.frame_store(),
+            Some((-8, 4))
+        );
+        assert_eq!(Inst::MovImmToFrame { offset: -16, imm: 7 }.frame_store(), Some((-16, 4)));
+        assert_eq!(
+            Inst::CopyInputToFrameBounded { offset: -64, max_len: 48 }.frame_store(),
+            Some((-64, 48))
+        );
+        // The unbounded copy has no static extent — it is the overflow vector.
+        assert_eq!(Inst::CopyInputToFrame { offset: -64 }.frame_store(), None);
+        assert_eq!(Inst::CopyInputToFrame { offset: -64 }.input_copy_offset(), Some(-64));
+        assert_eq!(
+            Inst::CopyInputToFrameBounded { offset: -64, max_len: 48 }.input_copy_offset(),
+            Some(-64)
+        );
+        assert_eq!(Inst::MovRegToFrame { src: Reg::Rax, offset: -8 }.input_copy_offset(), None);
+    }
+
+    #[test]
+    fn zero_flag_setters_match_the_cpu() {
+        for setter in [
+            Inst::XorRegReg { dst: Reg::Rdx, src: Reg::Rdi },
+            Inst::XorTlsReg { dst: Reg::Rdx, offset: 0x28 },
+            Inst::CmpFrameReg { reg: Reg::Rax, offset: -16 },
+            Inst::CmpRegImm { reg: Reg::Rax, imm: 0 },
+            Inst::TestReg(Reg::Rax),
+            Inst::CallCheckCanary32,
+        ] {
+            assert!(setter.sets_zero_flag(), "{setter}");
+        }
+        for non_setter in [
+            Inst::MovRegToFrame { src: Reg::Rax, offset: -8 },
+            Inst::PushReg(Reg::Rdi),
+            Inst::PopReg(Reg::Rdi),
+            Inst::JeSkip(1),
+            Inst::CallStackChkFail,
+        ] {
+            assert!(!non_setter.sets_zero_flag(), "{non_setter}");
         }
     }
 }

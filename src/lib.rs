@@ -19,6 +19,7 @@
 //! | [`attacks`] | `polycanary-attacks` | forking-server victim, byte-by-byte / exhaustive / canary-reuse attacks, campaigns |
 //! | [`workloads`] | `polycanary-workloads` | SPEC-like, web-server and database workloads |
 //! | [`analysis`] | `polycanary-analysis` | cross-run trend tracking: load/diff/report over export envelopes |
+//! | [`verifier`] | `polycanary-verifier` | static CFG + dataflow proof of canary invariants |
 //!
 //! # Quickstart
 //!
@@ -82,4 +83,9 @@ pub mod workloads {
 /// `polycanary-analysis`).
 pub mod analysis {
     pub use polycanary_analysis::*;
+}
+
+/// Static proof of canary invariants (re-export of `polycanary-verifier`).
+pub mod verifier {
+    pub use polycanary_verifier::*;
 }

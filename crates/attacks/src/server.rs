@@ -43,6 +43,7 @@
 use polycanary_core::record::Record;
 use polycanary_core::scheme::{ForkCanaryPolicy, SchemeKind};
 use polycanary_vm::cpu::Exit;
+use polycanary_vm::inst::FuncId;
 use polycanary_vm::machine::Machine;
 use polycanary_vm::process::Process;
 
@@ -58,6 +59,10 @@ pub struct ForkingServer {
     geometry: FrameGeometry,
     config: VictimConfig,
     policy: ForkCanaryPolicy,
+    /// Endpoint function ids resolved once at boot, so the per-request path
+    /// from fork to first guest instruction does no by-name lookups.
+    handle_fn: FuncId,
+    leak_fn: FuncId,
     connections: u64,
     requests: u64,
     crashed_workers: u64,
@@ -100,12 +105,18 @@ impl ForkingServer {
         let hooks = runtime_scheme.scheme().runtime_hooks(seed ^ 0xA77C_0DE5);
         let mut machine = Machine::from_snapshot(victim.vm_snapshot(), hooks, seed);
         let parent = machine.restore(victim.vm_snapshot());
+        let endpoint = |name: &str| {
+            machine.program().function_by_name(name).expect("victim binary defines the endpoint")
+        };
+        let (handle_fn, leak_fn) = (endpoint("handle_request"), endpoint("leak_status"));
         ForkingServer {
             machine,
             parent,
             geometry: victim.geometry(),
             config,
             policy: runtime_scheme.fork_canary_policy(),
+            handle_fn,
+            leak_fn,
             connections: 0,
             requests: 0,
             crashed_workers: 0,
@@ -212,11 +223,10 @@ impl ForkingServer {
         self.machine.forks()
     }
 
-    fn run_in(&mut self, worker: &mut Process, function: &str, payload: &[u8]) -> RequestOutcome {
+    fn run_in(&mut self, worker: &mut Process, endpoint: FuncId, payload: &[u8]) -> RequestOutcome {
         self.requests += 1;
         worker.set_input(payload.to_vec());
-        let outcome =
-            self.machine.run_function(worker, function).expect("endpoint exists in the victim");
+        let outcome = self.machine.run_function_id(worker, endpoint);
         let classified = classify(outcome.exit);
         if classified != RequestOutcome::Survived {
             self.crashed_workers += 1;
@@ -263,7 +273,8 @@ impl Connection<'_> {
         if !self.open {
             return RequestOutcome::Crashed;
         }
-        let outcome = self.server.run_in(&mut self.worker, "handle_request", payload);
+        let endpoint = self.server.handle_fn;
+        let outcome = self.server.run_in(&mut self.worker, endpoint, payload);
         if outcome != RequestOutcome::Survived {
             self.open = false;
         }
@@ -276,7 +287,8 @@ impl Connection<'_> {
         if !self.open {
             return (RequestOutcome::Crashed, Vec::new());
         }
-        let outcome = self.server.run_in(&mut self.worker, "leak_status", payload);
+        let endpoint = self.server.leak_fn;
+        let outcome = self.server.run_in(&mut self.worker, endpoint, payload);
         let leaked = self.worker.take_output();
         if outcome != RequestOutcome::Survived {
             self.open = false;

@@ -1,6 +1,7 @@
 //! Errors and faults produced by the simulated machine.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Recoverable errors returned by VM building blocks (memory, TLS, program
 /// construction).  These indicate misuse of the simulator API, not behaviour
@@ -82,13 +83,17 @@ pub enum Fault {
     /// mismatching canary and aborted the process.
     CanaryViolation {
         /// Name of the function whose epilogue detected the mismatch.
-        function: String,
+        /// Interned (shared with the program's function table): a
+        /// byte-by-byte campaign constructs one of these per probe, so
+        /// building the fault must not allocate.
+        function: Arc<str>,
     },
     /// A local-variable canary check (P-SSP-LV) detected corruption of a
     /// critical variable's guard before function return.
     LocalVariableViolation {
-        /// Name of the function whose check detected the mismatch.
-        function: String,
+        /// Name of the function whose check detected the mismatch
+        /// (interned, like [`Fault::CanaryViolation::function`]).
+        function: Arc<str>,
         /// Index of the critical variable whose canary was corrupted.
         variable_index: usize,
     },
@@ -101,6 +106,16 @@ pub enum Fault {
     InvalidReturn {
         /// The popped return address.
         addr: u64,
+    },
+    /// Control was transferred (via `call` or a bad entry point) to a
+    /// function id that does not exist in the program — as opposed to
+    /// [`Fault::InvalidReturn`], which is a `ret` to a non-instruction
+    /// *address*.  The two used to be conflated (an unknown id was reported
+    /// as a return to address 0); carrying the id keeps a linker-level bug
+    /// distinguishable from a genuine corrupted return address.
+    UnknownFunction {
+        /// The function id that failed to resolve.
+        id: usize,
     },
     /// A `ret` transferred control to the attacker's chosen target address:
     /// the attack succeeded without being detected.
@@ -143,6 +158,7 @@ impl fmt::Display for Fault {
             }
             Fault::MemoryFault { addr } => write!(f, "segmentation fault at {addr:#x}"),
             Fault::InvalidReturn { addr } => write!(f, "return to invalid address {addr:#x}"),
+            Fault::UnknownFunction { id } => write!(f, "call to unknown function fn#{id}"),
             Fault::ControlFlowHijacked { addr } => {
                 write!(f, "control flow hijacked to {addr:#x}")
             }
@@ -168,6 +184,16 @@ mod tests {
         assert!(Fault::ControlFlowHijacked { addr: 0x41414141 }.is_hijack());
         assert!(!Fault::ControlFlowHijacked { addr: 0x41414141 }.is_detection());
         assert!(!Fault::StackExhausted.is_detection());
+        assert!(!Fault::UnknownFunction { id: 7 }.is_detection());
+        assert!(!Fault::UnknownFunction { id: 7 }.is_hijack());
+    }
+
+    #[test]
+    fn unknown_function_is_not_an_invalid_return() {
+        // The regression the fault exists for: a call to a bad function id
+        // must stay distinguishable from a return to address 0.
+        assert_ne!(Fault::UnknownFunction { id: 0 }, Fault::InvalidReturn { addr: 0 });
+        assert!(Fault::UnknownFunction { id: 3 }.to_string().contains("fn#3"));
     }
 
     #[test]

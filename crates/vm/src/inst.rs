@@ -361,11 +361,27 @@ impl Inst {
         }
     }
 
-    /// Cycle cost of executing the instruction once.
+    /// Static cycle cost of executing the instruction once.
     ///
-    /// Costs are charged by the CPU interpreter; data-dependent costs (the
-    /// copy pseudo-instructions) are charged separately by the interpreter
-    /// based on the number of bytes moved.
+    /// # Cost-model convention
+    ///
+    /// The interpreter's fetch loop charges this static base for **every**
+    /// executed instruction, before the instruction runs.  Instructions
+    /// whose true cost is data-dependent add a *surcharge* on top during
+    /// execution — the base is never subtracted or replaced:
+    ///
+    /// * [`Inst::Rdrand`] — surcharge is the device-reported total minus
+    ///   this base, i.e. the cost of transparent retries; zero when the
+    ///   first draw succeeds, so a clean `rdrand` costs exactly
+    ///   `cost::RDRAND_CYCLES` in total.
+    /// * [`Inst::CopyInputToFrame`] / [`Inst::CopyInputToFrameBounded`] —
+    ///   surcharge is `copied_len / 8 + 1` (one cycle per word moved plus
+    ///   the call overhead), charged before the write so a copy that
+    ///   faults mid-way still paid for the attempt.
+    ///
+    /// Both dispatch paths (`Cpu::run` and `Cpu::run_reference`) follow
+    /// this convention; the totals are pinned by tests in `cpu.rs` because
+    /// these cycles feed every overhead figure the campaigns report.
     pub fn cycles(&self) -> u64 {
         match self {
             Inst::PushReg(_) | Inst::PopReg(_) => 1,

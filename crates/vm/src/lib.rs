@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+mod decode;
 pub mod error;
 pub mod inst;
 pub mod machine;

@@ -31,6 +31,79 @@ pub const GLOBAL_BASE: u64 = 0x0060_0000;
 /// Default globals segment size in bytes.
 pub const DEFAULT_GLOBAL_SIZE: u64 = 64 * 1024;
 
+/// One reference-counted segment of a process image.
+///
+/// A segment is `Shared` while it may alias another process (fresh images,
+/// fork children, snapshot restores) and becomes `Owned` on the first
+/// write.  The distinction is what keeps the interpreter's write gateway
+/// atomics-free: `Arc::make_mut` performs a compare-and-swap on the weak
+/// count on *every* call — ~10 ns per guest store even when the segment is
+/// long since unshared — whereas an `Owned` segment hands out `&mut`
+/// directly.  [`Pages::share`] converts back to `Shared` so `fork()` stays
+/// an `Arc` bump per segment.
+#[derive(Debug)]
+enum Pages {
+    Shared(Arc<Vec<u8>>),
+    Owned(Vec<u8>),
+}
+
+impl Pages {
+    fn new(size: usize) -> Self {
+        Pages::Shared(Arc::new(vec![0u8; size]))
+    }
+
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Pages::Shared(arc) => arc,
+            Pages::Owned(vec) => vec,
+        }
+    }
+
+    /// The single write gateway: the first write to a `Shared` segment
+    /// copies it (the copy-on-write fault); an `Owned` segment is handed
+    /// out with no refcount traffic at all.
+    #[inline]
+    fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        if let Pages::Shared(arc) = self {
+            *self = Pages::Owned(arc.as_ref().clone());
+        }
+        match self {
+            Pages::Owned(vec) => vec,
+            Pages::Shared(_) => unreachable!("converted to Owned above"),
+        }
+    }
+
+    /// Converts an `Owned` segment back to `Shared` (without copying) so a
+    /// subsequent [`Clone`] is an `Arc` bump.  `fork()` calls this on the
+    /// parent: the child then shares the parent's written frames — the
+    /// §II-B caveat — and the byte copy is deferred to whichever side
+    /// writes first.
+    fn share(&mut self) {
+        if let Pages::Owned(vec) = self {
+            *self = Pages::Shared(Arc::new(std::mem::take(vec)));
+        }
+    }
+
+    fn ptr_eq(&self, other: &Pages) -> bool {
+        match (self, other) {
+            (Pages::Shared(a), Pages::Shared(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Clone for Pages {
+    fn clone(&self) -> Self {
+        match self {
+            Pages::Shared(arc) => Pages::Shared(Arc::clone(arc)),
+            // Cloning an owned segment has to copy; fork avoids this by
+            // calling `share` on the parent first.
+            Pages::Owned(vec) => Pages::Shared(Arc::new(vec.clone())),
+        }
+    }
+}
+
 /// The memory of one simulated process (stack + globals).
 ///
 /// Cloning a [`Memory`] models `fork()`: the child receives a copy-on-write
@@ -38,14 +111,28 @@ pub const DEFAULT_GLOBAL_SIZE: u64 = 64 * 1024;
 /// independent byte-for-byte copy — crucially *including* the stack frames
 /// that the parent pushed before forking (§II-B, "Caveat").  The clone
 /// itself is an `Arc` bump per segment; the actual byte copy happens lazily
-/// on the first write to each segment ([`Arc::make_mut`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// on the first write to each segment (see the private `Pages` state).
+#[derive(Debug, Clone)]
 pub struct Memory {
-    stack: Arc<Vec<u8>>,
+    stack: Pages,
     stack_size: u64,
-    globals: Arc<Vec<u8>>,
+    globals: Pages,
     global_size: u64,
 }
+
+impl PartialEq for Memory {
+    /// Equality is by *contents*: two images are equal iff their segments
+    /// hold the same bytes, regardless of whether those bytes are shared,
+    /// owned or aliased.
+    fn eq(&self, other: &Memory) -> bool {
+        self.stack_size == other.stack_size
+            && self.global_size == other.global_size
+            && self.stack.bytes() == other.stack.bytes()
+            && self.globals.bytes() == other.globals.bytes()
+    }
+}
+
+impl Eq for Memory {}
 
 impl Memory {
     /// Creates a memory image with the default segment sizes.
@@ -57,11 +144,20 @@ impl Memory {
     pub fn with_stack_size(stack_size: u64) -> Self {
         let stack_size = stack_size.max(4096).next_multiple_of(16);
         Memory {
-            stack: Arc::new(vec![0u8; stack_size as usize]),
+            stack: Pages::new(stack_size as usize),
             stack_size,
-            globals: Arc::new(vec![0u8; DEFAULT_GLOBAL_SIZE as usize]),
+            globals: Pages::new(DEFAULT_GLOBAL_SIZE as usize),
             global_size: DEFAULT_GLOBAL_SIZE,
         }
+    }
+
+    /// Re-shares any segment this process owns outright, so that a
+    /// subsequent [`Clone`] — i.e. a `fork()` — is an `Arc` bump per
+    /// segment instead of a byte copy.  The owned bytes are moved, not
+    /// copied; the next write to either side pays the copy-on-write fault.
+    pub fn share_pages(&mut self) {
+        self.stack.share();
+        self.globals.share();
     }
 
     /// Whether `self` and `other` still share both underlying segment
@@ -69,7 +165,7 @@ impl Memory {
     /// diagnostic for the copy-on-write machinery; equality of *contents*
     /// is what `==` checks.
     pub fn shares_pages_with(&self, other: &Memory) -> bool {
-        Arc::ptr_eq(&self.stack, &other.stack) && Arc::ptr_eq(&self.globals, &other.globals)
+        self.stack.ptr_eq(&other.stack) && self.globals.ptr_eq(&other.globals)
     }
 
     /// The highest valid stack address + 1 (initial `rsp`).
@@ -78,6 +174,7 @@ impl Memory {
     }
 
     /// The lowest mapped stack address.
+    #[inline]
     pub fn stack_limit(&self) -> u64 {
         STACK_TOP - self.stack_size
     }
@@ -93,15 +190,18 @@ impl Memory {
     }
 
     /// Returns `true` if `addr` falls inside the stack segment.
+    #[inline]
     pub fn is_stack_addr(&self, addr: u64) -> bool {
         addr >= self.stack_limit() && addr < STACK_TOP
     }
 
     /// Returns `true` if `addr` falls inside the globals segment.
+    #[inline]
     pub fn is_global_addr(&self, addr: u64) -> bool {
         addr >= GLOBAL_BASE && addr < GLOBAL_BASE + self.global_size
     }
 
+    #[inline]
     fn resolve(&self, addr: u64, len: usize) -> Result<(Segment, usize), VmError> {
         let end = addr.checked_add(len as u64).ok_or(VmError::UnmappedAddress { addr })?;
         if self.is_stack_addr(addr) {
@@ -121,29 +221,44 @@ impl Memory {
         }
     }
 
+    #[inline]
     fn segment(&self, seg: Segment) -> &[u8] {
         match seg {
-            Segment::Stack => &self.stack,
-            Segment::Globals => &self.globals,
+            Segment::Stack => self.stack.bytes(),
+            Segment::Globals => self.globals.bytes(),
         }
     }
 
     /// The single write gateway: unshares the touched segment (and only
     /// that segment) before handing out the mutable bytes.
+    #[inline]
     fn segment_mut(&mut self, seg: Segment) -> &mut Vec<u8> {
         match seg {
-            Segment::Stack => Arc::make_mut(&mut self.stack),
-            Segment::Globals => Arc::make_mut(&mut self.globals),
+            Segment::Stack => self.stack.bytes_mut(),
+            Segment::Globals => self.globals.bytes_mut(),
         }
     }
 
     /// Reads a 64-bit little-endian word.
     ///
+    /// The fully-in-stack case — every push, pop and frame access of the
+    /// interpreter — is answered with a single range check; everything else
+    /// (globals, unmapped, straddling) falls back to the generic
+    /// `Memory::resolve` path with identical semantics.
+    ///
     /// # Errors
     ///
     /// Returns [`VmError::UnmappedAddress`] or [`VmError::PartialAccess`] if
     /// the access is not fully inside a mapped segment.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> Result<u64, VmError> {
+        let limit = self.stack_limit();
+        if addr >= limit && addr <= STACK_TOP - 8 {
+            let off = (addr - limit) as usize;
+            if let Some(bytes) = self.stack.bytes().get(off..off + 8) {
+                return Ok(u64::from_le_bytes(bytes.try_into().expect("slice length is 8")));
+            }
+        }
         let (seg, off) = self.resolve(addr, 8)?;
         let bytes = &self.segment(seg)[off..off + 8];
         Ok(u64::from_le_bytes(bytes.try_into().expect("slice length is 8")))
@@ -151,11 +266,27 @@ impl Memory {
 
     /// Writes a 64-bit little-endian word.
     ///
+    /// Same in-stack fast path as [`Memory::read_u64`], taken only when the
+    /// segment is already unshared (an owned stack is the steady state of a
+    /// running process; the first write after a fork still pays the
+    /// copy-on-write fault in the fallback).
+    ///
     /// # Errors
     ///
     /// Returns [`VmError::UnmappedAddress`] or [`VmError::PartialAccess`] if
     /// the access is not fully inside a mapped segment.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), VmError> {
+        let limit = self.stack_limit();
+        if addr >= limit && addr <= STACK_TOP - 8 {
+            let off = (addr - limit) as usize;
+            if let Pages::Owned(vec) = &mut self.stack {
+                if let Some(chunk) = vec.get_mut(off..off + 8) {
+                    chunk.copy_from_slice(&value.to_le_bytes());
+                    return Ok(());
+                }
+            }
+        }
         let (seg, off) = self.resolve(addr, 8)?;
         self.segment_mut(seg)[off..off + 8].copy_from_slice(&value.to_le_bytes());
         Ok(())
@@ -166,6 +297,7 @@ impl Memory {
     /// # Errors
     ///
     /// Same as [`Memory::read_u64`].
+    #[inline]
     pub fn read_u32(&self, addr: u64) -> Result<u32, VmError> {
         let (seg, off) = self.resolve(addr, 4)?;
         let bytes = &self.segment(seg)[off..off + 4];
@@ -177,6 +309,7 @@ impl Memory {
     /// # Errors
     ///
     /// Same as [`Memory::write_u64`].
+    #[inline]
     pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), VmError> {
         let (seg, off) = self.resolve(addr, 4)?;
         self.segment_mut(seg)[off..off + 4].copy_from_slice(&value.to_le_bytes());
@@ -188,6 +321,7 @@ impl Memory {
     /// # Errors
     ///
     /// Returns [`VmError::UnmappedAddress`] if `addr` is not mapped.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> Result<u8, VmError> {
         let (seg, off) = self.resolve(addr, 1)?;
         Ok(self.segment(seg)[off])
@@ -198,6 +332,7 @@ impl Memory {
     /// # Errors
     ///
     /// Returns [`VmError::UnmappedAddress`] if `addr` is not mapped.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), VmError> {
         let (seg, off) = self.resolve(addr, 1)?;
         self.segment_mut(seg)[off] = value;
@@ -217,6 +352,7 @@ impl Memory {
     /// that case no bytes are written (the fault is detected up front, which
     /// models the MMU fault terminating the process before the copy is
     /// observable).
+    #[inline]
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), VmError> {
         if data.is_empty() {
             return Ok(());

@@ -98,6 +98,10 @@ impl Process {
     /// shared physical device, so the streams are naturally distinct.
     pub fn fork(&mut self, child_pid: Pid) -> Process {
         self.forks += 1;
+        // Re-share any segment this process owns outright, so the clone
+        // below is an `Arc` bump per segment (kernel COW) even when the
+        // parent has already written its stack.
+        self.memory.share_pages();
         Process {
             pid: child_pid,
             memory: self.memory.clone(),
@@ -127,6 +131,29 @@ impl Process {
     /// The current input buffer.
     pub fn input(&self) -> &[u8] {
         &self.input
+    }
+
+    /// Copies the input buffer (truncated to `max_len`, when given) into
+    /// memory at `addr`.
+    ///
+    /// This is the allocation-free form of the `strcpy`/`strncpy` model
+    /// instructions: the input and the memory image are distinct fields, so
+    /// the copy can borrow both at once where external callers (the CPU
+    /// interpreter) cannot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the memory error when the destination range is not mapped.
+    pub fn copy_input_to_memory(
+        &mut self,
+        addr: u64,
+        max_len: Option<usize>,
+    ) -> Result<(), crate::error::VmError> {
+        let len = match max_len {
+            Some(m) => self.input.len().min(m),
+            None => self.input.len(),
+        };
+        self.memory.write_bytes(addr, &self.input[..len])
     }
 
     /// Appends bytes to the output channel (used by `OutputReg`).

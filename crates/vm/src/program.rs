@@ -9,7 +9,9 @@
 //! instruction positions when `ret` executes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::decode::DecodedProgram;
 use crate::error::VmError;
 use crate::inst::{FuncId, Inst};
 
@@ -21,7 +23,10 @@ pub const FUNCTION_ALIGN: u64 = 16;
 /// One function of a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
-    name: String,
+    /// Interned so fault reporting (`__stack_chk_fail` names the detecting
+    /// function in every [`Fault::CanaryViolation`](crate::error::Fault))
+    /// is a reference-count bump, not a per-fault string allocation.
+    name: Arc<str>,
     insts: Vec<Inst>,
     /// Entry address, assigned by [`Program::finalize`].
     entry_addr: u64,
@@ -33,6 +38,11 @@ impl Function {
     /// The function's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The function's interned name, shared by reference count.
+    pub fn name_interned(&self) -> Arc<str> {
+        Arc::clone(&self.name)
     }
 
     /// The function's instructions.
@@ -66,6 +76,10 @@ pub struct Program {
     addr_map: HashMap<u64, (FuncId, usize)>,
     /// Extra sections appended by the binary rewriter (name → size in bytes).
     extra_sections: Vec<(String, u64)>,
+    /// The flat dispatch cache, rebuilt by [`Program::finalize`] and cleared
+    /// on any mutation.  Purely derived from the function bodies, so the
+    /// derived equality over it cannot disagree for equal source programs.
+    decoded: Option<DecodedProgram>,
     finalized: bool,
 }
 
@@ -78,6 +92,7 @@ impl Program {
             entry: None,
             addr_map: HashMap::new(),
             extra_sections: Vec::new(),
+            decoded: None,
             finalized: false,
         }
     }
@@ -99,8 +114,14 @@ impl Program {
         }
         let id = FuncId(self.functions.len());
         self.by_name.insert(name.clone(), id);
-        self.functions.push(Function { name, insts, entry_addr: 0, inst_addrs: Vec::new() });
+        self.functions.push(Function {
+            name: Arc::from(name),
+            insts,
+            entry_addr: 0,
+            inst_addrs: Vec::new(),
+        });
         self.finalized = false;
+        self.decoded = None;
         Ok(id)
     }
 
@@ -116,6 +137,7 @@ impl Program {
             .ok_or_else(|| VmError::UnknownFunction { name: format!("{id}") })?;
         func.insts = insts;
         self.finalized = false;
+        self.decoded = None;
         Ok(())
     }
 
@@ -195,12 +217,21 @@ impl Program {
             self.addr_map.insert(cursor, (FuncId(idx), func.insts.len()));
             cursor += 1;
         }
+        // Addresses are assigned; flatten the bodies into the dispatch
+        // cache.  The source `insts` are left untouched — the decode is a
+        // pure acceleration that the verifier's source-body proofs ignore.
+        self.decoded = Some(DecodedProgram::build(&self.functions));
         self.finalized = true;
     }
 
     /// Whether [`Program::finalize`] has been called since the last mutation.
     pub fn is_finalized(&self) -> bool {
         self.finalized
+    }
+
+    /// The flat dispatch cache ([`Some`] exactly when finalized).
+    pub(crate) fn decoded(&self) -> Option<&DecodedProgram> {
+        self.decoded.as_ref()
     }
 
     /// Translates a virtual address back to `(function, instruction index)`.
@@ -332,6 +363,34 @@ mod tests {
         assert!(!prog.is_finalized());
         prog.finalize();
         assert_eq!(prog.function(a).unwrap().insts().len(), 1);
+    }
+
+    #[test]
+    fn decode_cache_tracks_finalization() {
+        let mut prog = Program::new();
+        let a = prog.add_function("a", tiny_function()).unwrap();
+        assert!(prog.decoded().is_none());
+        prog.finalize();
+        assert!(prog.decoded().is_some());
+        // Any mutation drops the cache until the next finalize.
+        prog.replace_function_body(a, vec![Inst::Ret]).unwrap();
+        assert!(prog.decoded().is_none());
+        prog.finalize();
+        assert!(prog.decoded().is_some());
+        prog.add_function("b", tiny_function()).unwrap();
+        assert!(prog.decoded().is_none());
+    }
+
+    #[test]
+    fn finalize_leaves_source_bodies_untouched() {
+        // The decode cache must be a pure acceleration: the `&[Inst]`
+        // bodies the static verifier proves invariants over are
+        // byte-identical before and after the cache is built.
+        let mut prog = Program::new();
+        let a = prog.add_function("a", tiny_function()).unwrap();
+        let before = prog.function(a).unwrap().insts().to_vec();
+        prog.finalize();
+        assert_eq!(prog.function(a).unwrap().insts(), &before[..]);
     }
 
     #[test]

@@ -51,8 +51,13 @@ impl Reg {
     ];
 
     /// Index of the register in the register file.
+    ///
+    /// The discriminant *is* the encoding-order index; the
+    /// `all_indexes_are_unique_and_dense` test pins the correspondence so
+    /// reordering [`Reg::ALL`] without reordering the enum cannot slip by.
+    #[inline]
     pub fn index(self) -> usize {
-        Reg::ALL.iter().position(|&r| r == self).expect("register is in ALL")
+        self as usize
     }
 
     /// Whether the register needs a REX prefix byte in its encoding
@@ -110,11 +115,13 @@ impl RegisterFile {
     }
 
     /// Reads a register.
+    #[inline]
     pub fn read(&self, reg: Reg) -> u64 {
         self.values[reg.index()]
     }
 
     /// Writes a register.
+    #[inline]
     pub fn write(&mut self, reg: Reg, value: u64) {
         self.values[reg.index()] = value;
     }

@@ -17,6 +17,11 @@
 //! effects) is deliberately **not** captured: it is re-derived from the
 //! boot seed on every restore, which is exactly what makes a restored
 //! victim indistinguishable from a freshly built one.
+//!
+//! The finalized program carries its pre-decoded dispatch stream (see
+//! `crate::decode`), so sharing the program by `Arc` also shares the
+//! decode cache: a snapshot-booted worker reaches its first guest
+//! instruction without re-decoding — or re-walking — any setup.
 
 use std::sync::Arc;
 

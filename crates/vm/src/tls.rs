@@ -46,6 +46,7 @@ impl Tls {
     /// # Errors
     ///
     /// Returns [`VmError::TlsOutOfRange`] if the access crosses the block.
+    #[inline]
     pub fn read_word(&self, offset: u64) -> Result<u64, VmError> {
         let start = self.check(offset, 8)?;
         let mut buf = [0u8; 8];
@@ -58,6 +59,7 @@ impl Tls {
     /// # Errors
     ///
     /// Returns [`VmError::TlsOutOfRange`] if the access crosses the block.
+    #[inline]
     pub fn write_word(&mut self, offset: u64, value: u64) -> Result<(), VmError> {
         let start = self.check(offset, 8)?;
         self.bytes[start..start + 8].copy_from_slice(&value.to_le_bytes());
@@ -111,6 +113,7 @@ impl Tls {
         self.write_word(TLS_SHADOW_C1_OFFSET, c1).expect("canonical offset is in range");
     }
 
+    #[inline]
     fn check(&self, offset: u64, len: u64) -> Result<usize, VmError> {
         if offset.checked_add(len).map(|end| end <= TLS_SIZE).unwrap_or(false) {
             Ok(offset as usize)

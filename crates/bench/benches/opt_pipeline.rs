@@ -1,0 +1,78 @@
+//! Optimizing pipeline — what the transform passes cost at compile time
+//! and buy back at run time.
+//!
+//! Two groups of cells per scheme:
+//!
+//! * `compile/*` — full compilation of a call-heavy SPEC-like module at O0
+//!   vs O2, measuring the pass pipeline's own overhead (analysis, IR
+//!   transforms, instruction transforms including the epilogue strength
+//!   reduction).
+//! * `run/*` — one complete run of the same module's protected build at O0
+//!   vs O2 through the machine, measuring the canary-handling cycles the
+//!   optimizer eliminates on the hot call path.
+//!
+//! The `opt_equivalence` differential suite separately proves the O0 and
+//! O2 builds are semantically identical, so the `run` deltas are pure
+//! per-call savings.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polycanary_compiler::codegen::Compiler;
+use polycanary_compiler::ir::ModuleDef;
+use polycanary_compiler::OptLevel;
+use polycanary_core::scheme::SchemeKind;
+use polycanary_workloads::spec_suite;
+
+/// The most call-heavy program of the SPEC-like suite (403.gcc-like):
+/// short worker bodies and many calls, so prologue/epilogue work — the
+/// optimizer's target — dominates.
+fn call_heavy_module() -> ModuleDef {
+    spec_suite()[2].module()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_pipeline");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let module = call_heavy_module();
+    let cells: [(&str, SchemeKind); 3] =
+        [("ssp", SchemeKind::Ssp), ("pssp", SchemeKind::Pssp), ("pssp_owf", SchemeKind::PsspOwf)];
+    for (label, scheme) in cells {
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("compile/{label}"), opt),
+                &opt,
+                |b, &opt| {
+                    b.iter(|| {
+                        Compiler::new(scheme)
+                            .with_opt_level(opt)
+                            .compile(&module)
+                            .expect("module compiles")
+                    })
+                },
+            );
+
+            let compiled = Compiler::new(scheme)
+                .with_opt_level(opt)
+                .compile(&module)
+                .expect("module compiles");
+            let mut machine = compiled.into_machine(0xF1EE7);
+            let mut worker = machine.spawn();
+            worker.set_input(vec![0x5Au8; 16]);
+            group.bench_with_input(BenchmarkId::new(format!("run/{label}"), opt), &opt, |b, _| {
+                b.iter(|| {
+                    let mut process = worker.clone();
+                    machine.run(&mut process).expect("module runs")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

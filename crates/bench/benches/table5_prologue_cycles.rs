@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polycanary_bench::experiments::canary_handling_cycles;
+use polycanary_compiler::OptLevel;
 use polycanary_core::scheme::SchemeKind;
 
 fn bench(c: &mut Criterion) {
@@ -23,11 +24,15 @@ fn bench(c: &mut Criterion) {
         ("P-SSP-OWF", SchemeKind::PsspOwf, 0),
     ];
     for (label, scheme, criticals) in configs {
-        group.bench_with_input(
-            BenchmarkId::new("probe", label),
-            &(scheme, criticals),
-            |b, &(scheme, criticals)| b.iter(|| canary_handling_cycles(scheme, criticals, 7)),
-        );
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("probe/{label}"), opt),
+                &(scheme, criticals, opt),
+                |b, &(scheme, criticals, opt)| {
+                    b.iter(|| canary_handling_cycles(scheme, criticals, opt, 7))
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -39,6 +39,7 @@ use polycanary_bench::experiments::{
     registry, report_sections, Experiment, ExperimentCtx, ExportFormat,
 };
 use polycanary_bench::verify::{run_inject, run_verify, InjectedDefect};
+use polycanary_compiler::{OptLevel, PassManager};
 use polycanary_core::record::{
     export_envelope, records_to_csv, records_to_json, Record, SCHEMA_VERSION,
 };
@@ -46,7 +47,8 @@ use polycanary_core::record::{
 fn print_usage() {
     eprintln!(
         "usage: harness [--seed N] [--quick] [--adaptive] [--workers N] [--fleet N] \
-         [--format text|json|csv] [--out DIR] [--timings FILE] [--list] <scenario>...\n\
+         [--opt-level L] [--format text|json|csv] [--out DIR] [--timings FILE] [--list] \
+         [--list-passes] <scenario>...\n\
          \x20      harness diff OLD NEW [--baseline FILE] [--threshold PCT] [--format text|json]\n\
          \x20      harness report DIR [--out FILE] [--format md|json]\n\
          \x20      harness verify [--quick] [--inject DEFECT] [--format text|json] [--out FILE]"
@@ -66,6 +68,9 @@ fn print_usage() {
          --workers N   cap the worker-thread budget (results never change)\n\
          --fleet N     fleet-scale mode: SPRT campaigns over N snapshot-booted\n\
          \x20             victims per cell (population and server-attack scenarios)\n\
+         --opt-level L compiler optimization level (O0, O1 or O2; default O2) —\n\
+         \x20             overhead scenarios report O0 plus L as a grid\n\
+         --list-passes print the pass pipeline for the selected --opt-level and exit\n\
          --format      text (default), json (self-describing envelopes) or csv (bare records)\n\
          --out DIR     write one <scenario>.<ext> file per scenario to DIR\n\
          --timings FILE  also write per-scenario wall times as JSON records\n\
@@ -77,9 +82,10 @@ fn print_usage() {
          report render the Markdown experiment report (EXPERIMENTS.md) from an\n\
          \x20      export directory; --format json emits the same model as records\n\
          verify statically prove canary invariants over every workload x scheme x\n\
-         \x20      deployment cell; exits 1 on any finding.  --inject DEFECT runs the\n\
-         \x20      known-bad battery instead (defects: skipped-prologue,\n\
-         \x20      clobbered-canary, dropped-epilogue, dead-check, stale-rewrite)"
+         \x20      deployment x opt-level cell; exits 1 on any finding.  --inject DEFECT\n\
+         \x20      runs the known-bad battery instead (defects: skipped-prologue,\n\
+         \x20      clobbered-canary, dropped-epilogue, dead-check, stale-rewrite,\n\
+         \x20      optimizer-dropped-check)"
     );
 }
 
@@ -116,6 +122,7 @@ fn main() {
     let mut ctx = ExperimentCtx::new(0x00DD_5EED);
     let mut out_dir: Option<PathBuf> = None;
     let mut timings_path: Option<PathBuf> = None;
+    let mut list_passes = false;
     let mut selected = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -175,12 +182,22 @@ fn main() {
                 };
                 timings_path = Some(PathBuf::from(value));
             }
+            "--opt-level" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--opt-level requires a value (O0, O1 or O2)");
+                };
+                let opt: OptLevel = value
+                    .parse()
+                    .unwrap_or_else(|err: String| usage_error(&format!("--opt-level: {err}")));
+                ctx = ctx.with_opt_level(opt);
+            }
             "--list" => {
                 for experiment in registry() {
                     println!("{}\t{}", experiment.name(), experiment.title());
                 }
                 return;
             }
+            "--list-passes" => list_passes = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -190,6 +207,17 @@ fn main() {
             }
             other => selected.push(other.to_string()),
         }
+    }
+
+    // `--list-passes` is a debug aid: show the pipeline the selected
+    // `--opt-level` would run, in order, and exit.  Parsed after the flag
+    // loop so `--opt-level O2 --list-passes` and the reverse order agree.
+    if list_passes {
+        println!("{} pipeline:", ctx.opt_level);
+        for name in PassManager::standard(ctx.opt_level).pass_names() {
+            println!("  {name}");
+        }
+        return;
     }
 
     if selected.is_empty() {
@@ -425,7 +453,8 @@ fn run_report_command(args: &[String]) -> ! {
 /// [--out FILE]` — never returns.
 ///
 /// Statically proves the canary invariants over every workload × scheme ×
-/// deployment cell and exits 1 on any finding, so CI can gate on a clean
+/// deployment × opt-level cell and exits 1 on any finding, so CI can gate
+/// on a clean
 /// toolchain.  `--inject DEFECT` verifies a deliberately broken program
 /// instead — the negative control that must exit 1.
 fn run_verify_command(args: &[String]) -> ! {

@@ -1,7 +1,8 @@
-//! Figure 5 — SPEC-like runtime overhead.
+//! Figure 5 — SPEC-like runtime overhead, swept over the opt-level axis.
 
 use std::fmt::Write as _;
 
+use polycanary_compiler::OptLevel;
 use polycanary_core::record::Record;
 use polycanary_core::scheme::SchemeKind;
 use polycanary_rewriter::LinkMode;
@@ -10,7 +11,9 @@ use polycanary_workloads::spec::{mean, spec_suite, SpecProgram};
 
 use super::{Experiment, ExperimentCtx, ScenarioOutput};
 
-/// The Figure 5 scenario: per-program compiler vs instrumentation overhead.
+/// The Figure 5 scenario: per-program compiler vs instrumentation overhead,
+/// reported program × opt-level so the protection cost is measured against
+/// an honestly optimized baseline as well as the naive one.
 pub struct Fig5;
 
 impl Experiment for Fig5 {
@@ -24,15 +27,18 @@ impl Experiment for Fig5 {
 
     fn description(&self) -> &'static str {
         "Per-program runtime overhead of compiler and instrumentation P-SSP \
-         over native"
+         over native, at O0 and the configured opt level"
     }
 
     fn paper_note(&self) -> &'static str {
         "P-SSP's average overhead on SPEC CPU2006 stays under ~1 % for the \
          compiler deployment, with the instrumentation deployment consistently a \
-         little costlier — both orderings hold here.  Simulated cycle counts \
-         depend only on the executed instructions, so this scenario is \
-         seed-invariant by design."
+         little costlier — both orderings hold here at every opt level, and the \
+         O2 rows (protected build and native baseline both optimized) come in \
+         below their O0 counterparts for the compiler deployment, since the \
+         optimizer strength-reduces the canary check in leaf functions.  \
+         Simulated cycle counts depend only on the executed instructions, so \
+         this scenario is seed-invariant by design."
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
@@ -41,11 +47,13 @@ impl Experiment for Fig5 {
     }
 }
 
-/// One bar group of Figure 5.
+/// One bar group of Figure 5 at one optimization level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Row {
     /// Benchmark program name.
     pub program: &'static str,
+    /// Optimization level both the baseline and the protected builds used.
+    pub opt_level: OptLevel,
     /// Compiler-based P-SSP overhead over native, percent.
     pub compiler_percent: f64,
     /// Instrumentation-based P-SSP overhead over native, percent.
@@ -57,38 +65,67 @@ impl Fig5Row {
     pub fn record(&self) -> Record {
         Record::new()
             .field("program", self.program)
+            .field("opt_level", self.opt_level.label())
             .field("compiler_percent", self.compiler_percent)
             .field("instrumentation_percent", self.instrumentation_percent)
     }
 }
 
 /// Runs the Figure 5 sweep over the first [`ExperimentCtx::spec_programs`]
-/// SPEC-like programs (28 for the full figure).  Each program is an
-/// independent parallel job on the shared pool.
+/// SPEC-like programs (28 for the full figure) × the ctx's opt-level axis.
+/// Each program × level cell is an independent parallel job on the shared
+/// pool.
 pub fn run_fig5(ctx: &ExperimentCtx) -> Vec<Fig5Row> {
     let seed = ctx.seed;
     let suite: Vec<SpecProgram> = spec_suite().into_iter().take(ctx.spec_programs.max(1)).collect();
-    ctx.pool().run(&suite, |_, p| Fig5Row {
+    let cells: Vec<(SpecProgram, OptLevel)> = suite
+        .into_iter()
+        .flat_map(|p| ctx.opt_levels().into_iter().map(move |opt| (p, opt)))
+        .collect();
+    ctx.pool().run(&cells, |_, (p, opt)| Fig5Row {
         program: p.name,
-        compiler_percent: p.overhead_percent(Build::Compiler(SchemeKind::Pssp), seed),
-        instrumentation_percent: p.overhead_percent(Build::BinaryRewriter(LinkMode::Dynamic), seed),
+        opt_level: *opt,
+        compiler_percent: p.overhead_percent_at(Build::Compiler(SchemeKind::Pssp), *opt, seed),
+        instrumentation_percent: p.overhead_percent_at(
+            Build::BinaryRewriter(LinkMode::Dynamic),
+            *opt,
+            seed,
+        ),
     })
 }
 
-/// Renders Figure 5 (as a table of the two series).
+/// Renders Figure 5 (as a table of the two series, one row per program ×
+/// opt level, with per-level averages).
 pub fn format_fig5(rows: &[Fig5Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<18} {:>14} {:>20}", "Program", "Compiler (%)", "Instrumentation (%)");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>5} {:>14} {:>20}",
+        "Program", "Opt", "Compiler (%)", "Instrumentation (%)"
+    );
     for row in rows {
         let _ = writeln!(
             out,
-            "{:<18} {:>14.3} {:>20.3}",
-            row.program, row.compiler_percent, row.instrumentation_percent
+            "{:<18} {:>5} {:>14.3} {:>20.3}",
+            row.program, row.opt_level, row.compiler_percent, row.instrumentation_percent
         );
     }
-    let compiler_mean = mean(&rows.iter().map(|r| r.compiler_percent).collect::<Vec<_>>());
-    let instr_mean = mean(&rows.iter().map(|r| r.instrumentation_percent).collect::<Vec<_>>());
-    let _ = writeln!(out, "{:<18} {:>14.3} {:>20.3}", "average", compiler_mean, instr_mean);
+    for opt in OptLevel::ALL {
+        let level: Vec<&Fig5Row> = rows.iter().filter(|r| r.opt_level == opt).collect();
+        if level.is_empty() {
+            continue;
+        }
+        let compiler_mean = mean(&level.iter().map(|r| r.compiler_percent).collect::<Vec<_>>());
+        let instr_mean = mean(&level.iter().map(|r| r.instrumentation_percent).collect::<Vec<_>>());
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:>14.3} {:>20.3}",
+            format!("average @{opt}"),
+            opt,
+            compiler_mean,
+            instr_mean
+        );
+    }
     out
 }
 
@@ -98,13 +135,37 @@ mod tests {
 
     #[test]
     fn fig5_overheads_are_small_and_ordered() {
-        let rows = run_fig5(&ExperimentCtx::new(5).with_spec_programs(4));
+        let rows =
+            run_fig5(&ExperimentCtx::new(5).with_spec_programs(4).with_opt_level(OptLevel::O0));
         assert_eq!(rows.len(), 4);
         let compiler = mean(&rows.iter().map(|r| r.compiler_percent).collect::<Vec<_>>());
         let instr = mean(&rows.iter().map(|r| r.instrumentation_percent).collect::<Vec<_>>());
         assert!(compiler > 0.0 && compiler < 3.0, "compiler mean {compiler}");
         assert!(instr > compiler, "instrumentation {instr} vs compiler {compiler}");
         assert!(format_fig5(&rows).contains("average"));
+    }
+
+    #[test]
+    fn fig5_default_grid_covers_o0_and_o2_with_lower_o2_overhead() {
+        let rows = run_fig5(&ExperimentCtx::new(5).with_spec_programs(4));
+        // program × {O0, O2}.
+        assert_eq!(rows.len(), 8);
+        for pair in rows.chunks(2) {
+            let (o0, o2) = (&pair[0], &pair[1]);
+            assert_eq!(o0.program, o2.program);
+            assert_eq!(o0.opt_level, OptLevel::O0);
+            assert_eq!(o2.opt_level, OptLevel::O2);
+            assert!(
+                o2.compiler_percent < o0.compiler_percent,
+                "{}: O2 {:.3}% must beat O0 {:.3}%",
+                o0.program,
+                o2.compiler_percent,
+                o0.compiler_percent
+            );
+            // The rewriter path compiles shape-preserved, so its canary cost
+            // is unchanged — but never worse.
+            assert!(o2.instrumentation_percent <= o0.instrumentation_percent + 1e-9);
+        }
     }
 
     #[test]
@@ -115,7 +176,8 @@ mod tests {
         let records: Vec<Record> = rows.iter().map(Fig5Row::record).collect();
         let json = records_to_json(&records);
         assert!(json.starts_with('[') && json.contains("\"program\""));
+        assert!(json.contains("\"opt_level\""));
         let csv = records_to_csv(&records);
-        assert!(csv.starts_with("program,compiler_percent,instrumentation_percent\n"));
+        assert!(csv.starts_with("program,opt_level,compiler_percent,instrumentation_percent\n"));
     }
 }

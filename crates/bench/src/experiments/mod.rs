@@ -17,6 +17,7 @@
 
 use polycanary_attacks::campaign::StopRule;
 use polycanary_attacks::pool::JobPool;
+use polycanary_compiler::OptLevel;
 use polycanary_core::record::Record;
 
 pub mod ablation;
@@ -114,6 +115,11 @@ pub struct ExperimentCtx {
     pub campaign_seeds: usize,
     /// Re-randomization samples for the Theorem-1 uniformity test.
     pub theorem1_samples: usize,
+    /// Optimization level the overhead scenarios compile their O0-vs-opt
+    /// comparison column at (`--opt-level`): fig5, table5 and the ablation
+    /// report scheme × {O0, opt_level} grids.  Defaults to `O2`; setting
+    /// `O0` collapses the grid to the historical single-level rows.
+    pub opt_level: OptLevel,
     /// Fleet-scale victim count (`--fleet N`): when set, the campaign
     /// scenarios (`population`, `server-attack`) switch to SPRT-only
     /// fleet campaigns over `N` lazily drawn victim seeds — 10^5+ is
@@ -141,7 +147,19 @@ impl ExperimentCtx {
             byte_budget: 20_000,
             campaign_seeds: EFFECTIVENESS_SEEDS,
             theorem1_samples: 5_000,
+            opt_level: OptLevel::O2,
             fleet: None,
+        }
+    }
+
+    /// The opt-level axis the overhead scenarios sweep: always `O0` (the
+    /// historical baseline), plus [`ExperimentCtx::opt_level`] when it is
+    /// something stronger.
+    pub fn opt_levels(&self) -> Vec<OptLevel> {
+        if self.opt_level == OptLevel::O0 {
+            vec![OptLevel::O0]
+        } else {
+            vec![OptLevel::O0, self.opt_level]
         }
     }
 
@@ -230,6 +248,14 @@ impl ExperimentCtx {
         self
     }
 
+    /// Selects the optimization level of the comparison column in the
+    /// overhead scenarios (the harness `--opt-level` flag).
+    #[must_use]
+    pub fn with_opt_level(mut self, opt: OptLevel) -> Self {
+        self.opt_level = opt;
+        self
+    }
+
     /// Switches the campaign scenarios to fleet mode over `fleet` victims
     /// (the harness `--fleet N` flag; `0` is treated as `1`).
     #[must_use]
@@ -261,6 +287,7 @@ impl ExperimentCtx {
             .field("byte_budget", self.byte_budget)
             .field("campaign_seeds", self.campaign_seeds)
             .field("theorem1_samples", self.theorem1_samples)
+            .field("opt_level", self.opt_level.label())
             .field("fleet", self.fleet.unwrap_or(0))
     }
 }
@@ -401,6 +428,12 @@ mod tests {
         assert_eq!(quick.campaign_seeds, 8);
         let adaptive = ExperimentCtx::new(7).adaptive();
         assert_eq!(adaptive.stop_rule, StopRule::settled());
+        assert_eq!(full.opt_level, OptLevel::O2);
+        assert_eq!(full.opt_levels(), vec![OptLevel::O0, OptLevel::O2]);
+        assert_eq!(
+            ExperimentCtx::new(7).with_opt_level(OptLevel::O0).opt_levels(),
+            vec![OptLevel::O0]
+        );
         assert_eq!(ExperimentCtx::new(7).with_workers(0).workers, Some(1));
     }
 
@@ -413,6 +446,7 @@ mod tests {
         assert_eq!(rec.get("quick"), Some(&Value::Bool(true)));
         assert_eq!(rec.get("workers"), Some(&Value::UInt(4)));
         assert_eq!(rec.get("stop_rule"), Some(&Value::Str("exhaustive".into())));
+        assert_eq!(rec.get("opt_level"), Some(&Value::Str("O2".into())));
         // Auto parallelism encodes as 0.
         assert_eq!(ExperimentCtx::new(9).record().get("workers"), Some(&Value::UInt(0)));
     }

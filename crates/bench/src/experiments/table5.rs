@@ -1,15 +1,17 @@
-//! Table V — prologue/epilogue cycles.
+//! Table V — prologue/epilogue cycles, swept over the opt-level axis.
 
 use std::fmt::Write as _;
 
 use polycanary_compiler::codegen::Compiler;
 use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder};
+use polycanary_compiler::OptLevel;
 use polycanary_core::record::Record;
 use polycanary_core::scheme::SchemeKind;
 
 use super::{Experiment, ExperimentCtx, ScenarioOutput};
 
-/// The Table V scenario: canary-handling cycle cost per configuration.
+/// The Table V scenario: canary-handling cycle cost per configuration ×
+/// optimization level.
 pub struct Table5;
 
 impl Experiment for Table5 {
@@ -23,14 +25,18 @@ impl Experiment for Table5 {
 
     fn description(&self) -> &'static str {
         "Canary-handling cycle cost of P-SSP and its NT / LV / OWF \
-         extensions on a minimal probe function"
+         extensions on a minimal probe function, at O0 and the configured \
+         opt level"
     }
 
     fn paper_note(&self) -> &'static str {
         "6 / 343 / 343 / 986 / 278 cycles for the same five configurations.  The \
-         reproduction preserves the ordering and ratios: P-SSP costs a handful \
-         of cycles, NT and LV-2 are equal (one extra random draw), LV-4 roughly \
-         triples that, OWF sits between P-SSP and NT."
+         reproduction preserves the ordering and ratios at O0: P-SSP costs a \
+         handful of cycles, NT and LV-2 are equal (one extra random draw), LV-4 \
+         roughly triples that, OWF sits between P-SSP and NT.  The O2 rows show \
+         what an optimizing deployment pays: the redundant canary re-loads are \
+         eliminated in leaf functions, so every configuration gets cheaper — \
+         OWF most of all, because its epilogue re-encryption disappears."
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput {
@@ -42,11 +48,13 @@ impl Experiment for Table5 {
     }
 }
 
-/// One column of Table V.
+/// One column of Table V at one optimization level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table5Entry {
     /// Configuration label (scheme, plus canary count for P-SSP-LV).
     pub label: String,
+    /// Optimization level of both the protected and the baseline build.
+    pub opt_level: OptLevel,
     /// Extra cycles spent in the prologue + epilogue relative to the same
     /// function compiled without protection.
     pub cycles: u64,
@@ -55,13 +63,16 @@ pub struct Table5Entry {
 impl Table5Entry {
     /// The self-describing record form of this entry, for JSON/CSV export.
     pub fn record(&self) -> Record {
-        Record::new().field("configuration", self.label.as_str()).field("cycles", self.cycles)
+        Record::new()
+            .field("configuration", self.label.as_str())
+            .field("opt_level", self.opt_level.label())
+            .field("cycles", self.cycles)
     }
 }
 
-/// Runs the Table V micro-measurement.  Each configuration probe is an
-/// independent parallel job on the shared pool; simulated cycle counts are
-/// exact, so the entries are a pure function of the context seed.
+/// Runs the Table V micro-measurement over configuration × opt level.  Each
+/// cell is an independent parallel job on the shared pool; simulated cycle
+/// counts are exact, so the entries are a pure function of the context seed.
 pub fn run_table5(ctx: &ExperimentCtx) -> Vec<Table5Entry> {
     let seed = ctx.seed;
     let configs: [(&str, SchemeKind, u32); 5] = [
@@ -71,23 +82,34 @@ pub fn run_table5(ctx: &ExperimentCtx) -> Vec<Table5Entry> {
         ("P-SSP-LV (4 canaries)", SchemeKind::PsspLv, 3),
         ("P-SSP-OWF", SchemeKind::PsspOwf, 0),
     ];
-    ctx.pool().run(&configs, |_, &(label, scheme, criticals)| Table5Entry {
+    let cells: Vec<((&str, SchemeKind, u32), OptLevel)> = configs
+        .into_iter()
+        .flat_map(|c| ctx.opt_levels().into_iter().map(move |opt| (c, opt)))
+        .collect();
+    ctx.pool().run(&cells, |_, &((label, scheme, criticals), opt)| Table5Entry {
         label: label.into(),
-        cycles: canary_handling_cycles(scheme, criticals, seed),
+        opt_level: opt,
+        cycles: canary_handling_cycles(scheme, criticals, opt, seed),
     })
 }
 
 /// Measures the prologue+epilogue cycle cost of `scheme` on a minimal probe
-/// function with `critical_buffers` critical locals, by differencing against
-/// the unprotected build of the same probe.
-pub fn canary_handling_cycles(scheme: SchemeKind, critical_buffers: u32, seed: u64) -> u64 {
+/// function with `critical_buffers` critical locals at `opt`, by differencing
+/// against the unprotected build of the same probe at the same level.
+pub fn canary_handling_cycles(
+    scheme: SchemeKind,
+    critical_buffers: u32,
+    opt: OptLevel,
+    seed: u64,
+) -> u64 {
     let probe = |kind: SchemeKind| -> u64 {
         let mut f = FunctionBuilder::new("probe").buffer("buf", 32).safe_copy("buf");
         for i in 0..critical_buffers {
             f = f.critical_buffer(format!("secret_{i}"), 16);
         }
         let module = ModuleBuilder::new().function(f.returns(0).build()).build().unwrap();
-        let compiled = Compiler::new(kind).compile(&module).expect("probe compiles");
+        let compiled =
+            Compiler::new(kind).with_opt_level(opt).compile(&module).expect("probe compiles");
         let mut machine = compiled.into_machine(seed);
         let mut process = machine.spawn();
         process.set_input(vec![0u8; 8]);
@@ -101,9 +123,9 @@ pub fn canary_handling_cycles(scheme: SchemeKind, critical_buffers: u32, seed: u
 /// Renders Table V.
 pub fn format_table5(entries: &[Table5Entry]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<24} {:>18}", "Configuration", "Cycles (pro+epi)");
+    let _ = writeln!(out, "{:<24} {:>5} {:>18}", "Configuration", "Opt", "Cycles (pro+epi)");
     for entry in entries {
-        let _ = writeln!(out, "{:<24} {:>18}", entry.label, entry.cycles);
+        let _ = writeln!(out, "{:<24} {:>5} {:>18}", entry.label, entry.opt_level, entry.cycles);
     }
     out
 }
@@ -114,7 +136,10 @@ mod tests {
 
     #[test]
     fn table5_reproduces_the_paper_ordering() {
-        let entries = run_table5(&ExperimentCtx::new(5));
+        // The paper measured unoptimized prologue/epilogue sequences: pin its
+        // ordering on the O0 rows.
+        let entries = run_table5(&ExperimentCtx::new(5).with_opt_level(OptLevel::O0));
+        assert_eq!(entries.len(), 5);
         let get = |label: &str| entries.iter().find(|e| e.label.starts_with(label)).unwrap().cycles;
         let pssp = get("P-SSP");
         let nt = get("P-SSP-NT");
@@ -130,10 +155,30 @@ mod tests {
     }
 
     #[test]
+    fn table5_o2_rows_are_cheaper_than_their_o0_counterparts() {
+        let entries = run_table5(&ExperimentCtx::new(5));
+        // configuration × {O0, O2}, O0 first within each configuration.
+        assert_eq!(entries.len(), 10);
+        for pair in entries.chunks(2) {
+            let (o0, o2) = (&pair[0], &pair[1]);
+            assert_eq!(o0.label, o2.label);
+            assert_eq!(o0.opt_level, OptLevel::O0);
+            assert_eq!(o2.opt_level, OptLevel::O2);
+            assert!(
+                o2.cycles < o0.cycles,
+                "{}: O2 ({}) must cost fewer canary cycles than O0 ({})",
+                o0.label,
+                o2.cycles,
+                o0.cycles
+            );
+        }
+    }
+
+    #[test]
     fn table5_entries_are_worker_count_independent() {
         let once = run_table5(&ExperimentCtx::new(5).with_workers(1));
         let twice = run_table5(&ExperimentCtx::new(5).with_workers(8));
         assert_eq!(once, twice);
-        assert_eq!(once.len(), 5);
+        assert_eq!(once.len(), 10);
     }
 }

@@ -1,20 +1,23 @@
 //! `harness verify` — static verification sweep over every workload ×
-//! scheme × deployment cell.
+//! scheme × deployment × opt-level cell.
 //!
 //! Where every other scenario *runs* the builds, this sweep *proves* them:
-//! each cell compiles one workload under one build vehicle and hands the
-//! result to `polycanary_verifier` — [`verify_compiled`] for compiler
-//! output, [`verify_rewritten`] for rewriter output — collecting the typed
-//! findings.  A clean toolchain yields zero findings over the whole matrix,
-//! so CI gates on the process exit code; the [`InjectedDefect`] battery is
-//! the negative control proving the gate can actually fail.
+//! each cell compiles one workload under one build vehicle at one
+//! optimization level and hands the result to `polycanary_verifier` —
+//! [`verify_compiled`] for compiler output, [`verify_rewritten`] for
+//! rewriter output — collecting the typed findings.  A clean toolchain
+//! yields zero findings over the whole matrix, so CI gates on the process
+//! exit code; the [`InjectedDefect`] battery is the negative control proving
+//! the gate can actually fail.  The O2 half of the matrix is what makes the
+//! optimizer trustworthy: every transformed body re-proves all five canary
+//! invariants.
 //!
 //! Results export in the same schema-versioned envelope as every scenario
 //! (`scenario: "verify"`), so `harness diff` and `polycanary-analysis`
 //! consume them without special cases.
 
 use polycanary_compiler::ir::ModuleDef;
-use polycanary_compiler::{CompiledModule, Compiler};
+use polycanary_compiler::{CompiledModule, Compiler, OptLevel};
 use polycanary_core::record::{export_envelope, Record};
 use polycanary_core::scheme::SchemeKind;
 use polycanary_rewriter::{LinkMode, Rewriter};
@@ -23,13 +26,15 @@ use polycanary_workloads::{spec_suite, Build, DatabaseModel, ServerModel};
 
 pub use polycanary_verifier::InjectedDefect;
 
-/// Result of verifying one workload × build cell.
+/// Result of verifying one workload × build × opt-level cell.
 #[derive(Debug, Clone)]
 pub struct VerifyCell {
     /// Workload name (SPEC program, server or database model).
     pub workload: String,
     /// Deployment vehicle label ([`Build::label`]).
     pub build: String,
+    /// Optimization level the cell was compiled at.
+    pub opt_level: OptLevel,
     /// Number of functions the verifier analysed.
     pub functions: usize,
     /// Every invariant violation found — empty on a clean toolchain.
@@ -42,6 +47,7 @@ impl VerifyCell {
         Record::new()
             .field("workload", self.workload.as_str())
             .field("build", self.build.as_str())
+            .field("opt_level", self.opt_level.label())
             .field("functions", self.functions)
             .field("finding_count", self.findings.len())
             .field("findings", self.findings.iter().map(Finding::record).collect::<Vec<_>>())
@@ -89,8 +95,8 @@ impl VerifyReport {
             };
             let _ = writeln!(
                 out,
-                "  {:<18} {:<28} {:>3} function(s)  {verdict}",
-                cell.workload, cell.build, cell.functions
+                "  {:<18} {:<28} {:>3} {:>3} function(s)  {verdict}",
+                cell.workload, cell.build, cell.opt_level, cell.functions
             );
             for finding in &cell.findings {
                 let _ = writeln!(out, "    {finding}");
@@ -137,23 +143,40 @@ fn builds() -> Vec<Build> {
     builds
 }
 
-fn compile(module: &ModuleDef, kind: SchemeKind) -> CompiledModule {
-    Compiler::new(kind).compile(module).expect("workload modules always compile")
+/// The optimization levels every cell is verified at: the unoptimized
+/// baseline plus the most aggressive pipeline.
+fn opt_levels() -> [OptLevel; 2] {
+    [OptLevel::O0, OptLevel::O2]
 }
 
-/// Verifies one workload module under one build vehicle.
-fn verify_cell(workload: &str, module: &ModuleDef, build: Build) -> VerifyCell {
+fn compile(module: &ModuleDef, kind: SchemeKind, opt: OptLevel) -> CompiledModule {
+    Compiler::new(kind)
+        .with_opt_level(opt)
+        .compile(module)
+        .expect("workload modules always compile")
+}
+
+/// Verifies one workload module under one build vehicle at one opt level.
+fn verify_cell(workload: &str, module: &ModuleDef, build: Build, opt: OptLevel) -> VerifyCell {
     let (functions, findings) = match build {
         Build::Native => {
-            let compiled = compile(module, SchemeKind::Native);
+            let compiled = compile(module, SchemeKind::Native, opt);
             (compiled.program.len(), verify_compiled(&compiled))
         }
         Build::Compiler(kind) => {
-            let compiled = compile(module, kind);
+            let compiled = compile(module, kind, opt);
             (compiled.program.len(), verify_compiled(&compiled))
         }
         Build::BinaryRewriter(mode) => {
-            let original = compile(module, SchemeKind::Ssp).program;
+            // The rewriter pattern-matches the canonical SSP sequences, so
+            // its input compiles shape-preserved at every level — matching
+            // what `build_machine_at` ships.
+            let original = Compiler::new(SchemeKind::Ssp)
+                .with_opt_level(opt)
+                .with_preserved_canary_shapes()
+                .compile(module)
+                .expect("workload modules always compile")
+                .program;
             let mut rewritten = original.clone();
             Rewriter::new()
                 .with_link_mode(mode)
@@ -162,7 +185,13 @@ fn verify_cell(workload: &str, module: &ModuleDef, build: Build) -> VerifyCell {
             (original.len(), verify_rewritten(&original, &rewritten))
         }
     };
-    VerifyCell { workload: workload.to_string(), build: build.label(), functions, findings }
+    VerifyCell {
+        workload: workload.to_string(),
+        build: build.label(),
+        opt_level: opt,
+        functions,
+        findings,
+    }
 }
 
 /// Runs the full verification sweep.
@@ -171,7 +200,9 @@ pub fn run_verify(quick: bool) -> VerifyReport {
     let mut cells = Vec::new();
     for (name, module) in workload_modules(quick) {
         for &build in &builds {
-            cells.push(verify_cell(&name, &module, build));
+            for opt in opt_levels() {
+                cells.push(verify_cell(&name, &module, build, opt));
+            }
         }
     }
     VerifyReport { cells }
@@ -183,9 +214,15 @@ pub fn run_verify(quick: bool) -> VerifyReport {
 /// provenance.
 pub fn run_inject(defect: InjectedDefect) -> VerifyReport {
     let findings = defect.run();
+    // The optimizer miscompile is the one defect planted into an O2 build.
+    let opt_level = match defect {
+        InjectedDefect::OptimizerDroppedCheck => OptLevel::O2,
+        _ => OptLevel::O0,
+    };
     let cell = VerifyCell {
         workload: format!("inject:{defect}"),
         build: format!("expected {}", defect.expected_kind()),
+        opt_level,
         functions: 1,
         findings,
     };
@@ -199,8 +236,9 @@ mod tests {
     #[test]
     fn quick_sweep_is_clean_over_all_builds() {
         let report = run_verify(true);
-        // 4 SPEC + 2 servers + 2 databases, × (10 schemes + 2 link modes).
-        assert_eq!(report.cells.len(), 8 * 12);
+        // 4 SPEC + 2 servers + 2 databases, × (10 schemes + 2 link modes),
+        // × {O0, O2}.
+        assert_eq!(report.cells.len(), 8 * 12 * 2);
         assert!(report.is_clean(), "{}", report.render_text());
     }
 

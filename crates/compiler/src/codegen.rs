@@ -16,7 +16,7 @@ use polycanary_vm::reg::Reg;
 use crate::error::CompileError;
 use crate::frame::{layout_frame, FrameLayout};
 use crate::ir::{ModuleDef, Stmt, WriteSource};
-use crate::pass::PassManager;
+use crate::pass::{FunctionAnalysis, LoweredBody, OptLevel, PassCtx, PassManager};
 
 /// The result of compiling a MiniC module.
 #[derive(Debug, Clone)]
@@ -26,10 +26,15 @@ pub struct CompiledModule {
     /// The scheme the module was compiled with (per-function overrides, if
     /// any, are recorded in [`CompiledModule::function_schemes`]).
     pub scheme: SchemeKind,
+    /// The optimization level the module was compiled at.
+    pub opt_level: OptLevel,
     /// Frame layout of every function, indexed like the program's functions.
     pub frames: Vec<FrameLayout>,
     /// The scheme actually applied to each function.
     pub function_schemes: Vec<SchemeKind>,
+    /// The pipeline's per-function analysis results (protection decision,
+    /// post-optimization cost estimate), indexed like the functions.
+    pub analyses: Vec<FunctionAnalysis>,
     /// Name → function id map.
     pub by_name: HashMap<String, FuncId>,
 }
@@ -38,6 +43,11 @@ impl CompiledModule {
     /// Frame layout of a function by name.
     pub fn frame(&self, name: &str) -> Option<&FrameLayout> {
         self.by_name.get(name).map(|id| &self.frames[id.0])
+    }
+
+    /// Pass analysis of a function by name.
+    pub fn analysis(&self, name: &str) -> Option<&FunctionAnalysis> {
+        self.by_name.get(name).map(|id| &self.analyses[id.0])
     }
 
     /// Total encoded code size in bytes (the `.text` section).
@@ -57,6 +67,8 @@ impl CompiledModule {
 pub struct Compiler {
     scheme_kind: SchemeKind,
     scheme: Box<dyn CanaryScheme>,
+    opt_level: OptLevel,
+    preserve_canary_shapes: bool,
     passes: PassManager,
     overrides: HashMap<String, SchemeKind>,
 }
@@ -65,20 +77,51 @@ impl std::fmt::Debug for Compiler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Compiler")
             .field("scheme", &self.scheme_kind)
+            .field("opt_level", &self.opt_level)
             .field("overrides", &self.overrides)
             .finish()
     }
 }
 
 impl Compiler {
-    /// Creates a compiler that protects every function with `kind`.
+    /// Creates a compiler that protects every function with `kind`, at the
+    /// default [`OptLevel::O0`] (the historical unoptimized pipeline).
     pub fn new(kind: SchemeKind) -> Self {
         Compiler {
             scheme_kind: kind,
             scheme: kind.scheme(),
-            passes: PassManager::standard(),
+            opt_level: OptLevel::O0,
+            preserve_canary_shapes: false,
+            passes: PassManager::standard(OptLevel::O0),
             overrides: HashMap::new(),
         }
+    }
+
+    /// Selects the optimization level (rebuilds the standard pipeline).
+    #[must_use]
+    pub fn with_opt_level(mut self, opt: OptLevel) -> Self {
+        self.opt_level = opt;
+        self.passes = PassManager::standard(opt);
+        self
+    }
+
+    /// Forbids the instruction-level passes from reshaping canary prologue
+    /// and epilogue sequences.  Builds destined for the binary rewriter need
+    /// this: the rewriter pattern-matches the canonical SSP shapes.
+    #[must_use]
+    pub fn with_preserved_canary_shapes(mut self) -> Self {
+        self.preserve_canary_shapes = true;
+        self
+    }
+
+    /// The optimization level this compiler runs at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// Names of the passes in this compiler's pipeline, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.pass_names()
     }
 
     /// Overrides the scheme for a single function — used by the
@@ -111,6 +154,7 @@ impl Compiler {
         let mut program = Program::new();
         let mut frames = Vec::with_capacity(module.functions.len());
         let mut function_schemes = Vec::with_capacity(module.functions.len());
+        let mut analyses = Vec::with_capacity(module.functions.len());
 
         for func in &module.functions {
             let kind = self.overrides.get(&func.name).copied().unwrap_or(self.scheme_kind);
@@ -122,16 +166,31 @@ impl Compiler {
                 scheme.as_ref()
             };
 
-            let analysis = self.passes.run(func);
-            let layout = layout_frame(func, scheme_ref)?;
+            // Stage 1: analysis over the unoptimized IR.
+            let mut analysis = self.passes.run(func);
+
+            // Stage 2: IR transforms (folding, fusion, DSE), then layout.
+            let mut func_opt = func.clone();
+            self.passes.transform_ir(&mut func_opt);
+            let layout = layout_frame(&func_opt, scheme_ref)?;
             debug_assert_eq!(analysis.needs_protection, layout.info.protected);
 
-            let insts = lower_function(func, &layout, scheme_ref, &ids)?;
+            // Stage 3: lower, then instruction transforms (scheduling,
+            // canary-load elimination, cost estimation).
+            let mut body = lower_function(&func_opt, &layout, scheme_ref, &ids)?;
+            let ctx = PassCtx {
+                scheme: kind,
+                layout: &layout,
+                preserve_canary_shapes: self.preserve_canary_shapes,
+            };
+            self.passes.transform_insts(&mut body, &ctx, &mut analysis);
+
             program
-                .add_function(func.name.clone(), insts)
+                .add_function(func.name.clone(), body.insts)
                 .map_err(|_| CompileError::DuplicateFunction { name: func.name.clone() })?;
             frames.push(layout);
             function_schemes.push(kind);
+            analyses.push(analysis);
         }
 
         let entry = ids[&module.entry];
@@ -141,20 +200,24 @@ impl Compiler {
         Ok(CompiledModule {
             program,
             scheme: self.scheme_kind,
+            opt_level: self.opt_level,
             frames,
             function_schemes,
+            analyses,
             by_name: ids,
         })
     }
 }
 
-/// Lowers one function to VM instructions.
-fn lower_function(
+/// Lowers one function to VM instructions, recording where the scheme
+/// prologue and epilogue landed so instruction-level passes can reason
+/// about them.
+pub(crate) fn lower_function(
     func: &crate::ir::FunctionDef,
     layout: &FrameLayout,
     scheme: &dyn CanaryScheme,
     ids: &HashMap<String, FuncId>,
-) -> Result<Vec<Inst>, CompileError> {
+) -> Result<LoweredBody, CompileError> {
     let mut insts = Vec::new();
 
     // Frame establishment (Code 1, lines 1–3).
@@ -165,12 +228,24 @@ fn lower_function(
     }
 
     // Scheme prologue.
+    let prologue_start = insts.len();
     insts.extend(scheme.emit_prologue(&layout.info));
+    let prologue = prologue_start..insts.len();
 
     // Body.
     for stmt in &func.body {
         match stmt {
             Stmt::Compute { cycles } => insts.push(Inst::Compute(*cycles)),
+            Stmt::InitBuffer { local } => {
+                // Zero-fill as a run of 4-byte `movl $0` stores over the
+                // buffer's (word-rounded) slot — canary slots are never in
+                // range by construction.
+                let base = layout.local_offset(*local);
+                let rounded = func.locals[*local].kind.size().div_ceil(8) * 8;
+                for delta in (0..rounded).step_by(4) {
+                    insts.push(Inst::MovImmToFrame { offset: base + delta as i32, imm: 0 });
+                }
+            }
             Stmt::WriteBuffer { local, source } => {
                 let offset = layout.local_offset(*local);
                 match source {
@@ -204,10 +279,12 @@ fn lower_function(
     }
 
     // Scheme epilogue followed by frame teardown (Code 2, lines 6–8).
+    let epilogue_start = insts.len();
     insts.extend(scheme.emit_epilogue(&layout.info));
+    let epilogue = epilogue_start..insts.len();
     insts.push(Inst::Leave);
     insts.push(Inst::Ret);
-    Ok(insts)
+    Ok(LoweredBody { insts, prologue, epilogue })
 }
 
 /// Code-expansion report for Table II.
@@ -422,6 +499,223 @@ mod tests {
         // (which, under SSP, include the canary).
         assert_eq!(output.len(), 32);
         assert_eq!(&output[..16], b"AAAABBBBCCCCDDDD");
+    }
+
+    fn leaf_insts(kind: SchemeKind, opt: OptLevel) -> Vec<Inst> {
+        let compiled = Compiler::new(kind).with_opt_level(opt).compile(&victim_module()).unwrap();
+        let id = compiled.by_name["handle_request"];
+        compiled.program.function(id).unwrap().insts().to_vec()
+    }
+
+    #[test]
+    fn o2_strength_reduces_the_ssp_epilogue_to_a_register_compare() {
+        let o0 = leaf_insts(SchemeKind::Ssp, OptLevel::O0);
+        let o2 = leaf_insts(SchemeKind::Ssp, OptLevel::O2);
+        // The O0 epilogue re-loads the slot and XORs the TLS word.
+        assert!(o0.iter().any(|i| matches!(i, Inst::XorTlsReg { .. })));
+        // At O2 the leaf keeps the canary in a register: the TLS re-load and
+        // the frame re-load disappear in favour of a direct compare.
+        assert!(!o2.iter().any(|i| matches!(i, Inst::XorTlsReg { .. })));
+        assert!(o2.iter().any(|i| matches!(i, Inst::CmpFrameReg { offset: -8, .. })));
+        // The prologue's TLS load survives (renamed, not duplicated).
+        assert_eq!(o2.iter().filter(|i| matches!(i, Inst::MovTlsToReg { .. })).count(), 1);
+    }
+
+    #[test]
+    fn o2_lowers_the_estimated_cost_for_every_compiler_scheme() {
+        for kind in SchemeKind::ALL {
+            if kind == SchemeKind::Native || kind == SchemeKind::PsspBin32 {
+                continue; // nothing to reduce / deliberately shape-locked
+            }
+            let module = victim_module();
+            let o0 = Compiler::new(kind).compile(&module).unwrap();
+            let o2 = Compiler::new(kind).with_opt_level(OptLevel::O2).compile(&module).unwrap();
+            let c0 = o0.analysis("handle_request").unwrap().estimated_body_cycles;
+            let c2 = o2.analysis("handle_request").unwrap().estimated_body_cycles;
+            assert!(c2 < c0, "{kind}: O2 estimate {c2} must beat O0 estimate {c0}");
+        }
+    }
+
+    #[test]
+    fn preserved_canary_shapes_disable_sequence_rewrites() {
+        let compiled = Compiler::new(SchemeKind::Ssp)
+            .with_opt_level(OptLevel::O2)
+            .with_preserved_canary_shapes()
+            .compile(&victim_module())
+            .unwrap();
+        let id = compiled.by_name["handle_request"];
+        let insts = compiled.program.function(id).unwrap().insts();
+        assert!(insts.iter().any(|i| matches!(i, Inst::XorTlsReg { .. })));
+    }
+
+    #[test]
+    fn canary_schedule_sinks_the_store_and_hoists_the_check() {
+        let module = ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("worker")
+                    .buffer("buf", 32)
+                    .compute(100)
+                    .safe_copy("buf")
+                    .returns(0)
+                    .compute(50)
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let compiled =
+            Compiler::new(SchemeKind::Ssp).with_opt_level(OptLevel::O1).compile(&module).unwrap();
+        let id = compiled.by_name["worker"];
+        let insts = compiled.program.function(id).unwrap().insts();
+        let setup_compute = insts.iter().position(|i| matches!(i, Inst::Compute(100))).unwrap();
+        let store = insts.iter().position(|i| matches!(i, Inst::MovRegToFrame { .. })).unwrap();
+        let check = insts.iter().position(|i| matches!(i, Inst::XorTlsReg { .. })).unwrap();
+        let tail_compute = insts.iter().position(|i| matches!(i, Inst::Compute(50))).unwrap();
+        assert!(setup_compute < store, "setup computation runs before the canary store");
+        assert!(check < tail_compute, "the check is hoisted above trailing computation");
+        // The moved computation still cannot touch the protected window: the
+        // input copy remains strictly between store and check.
+        let copy =
+            insts.iter().position(|i| matches!(i, Inst::CopyInputToFrameBounded { .. })).unwrap();
+        assert!(store < copy && copy < check);
+    }
+
+    #[test]
+    fn dead_zero_fills_are_eliminated_only_when_unobservable() {
+        let module = |leaky: bool| {
+            let mut f = FunctionBuilder::new("f").buffer("buf", 16).zero_fill("buf");
+            if leaky {
+                f = f.leak("buf", 2);
+            }
+            ModuleBuilder::new().function(f.returns(0).build()).build().unwrap()
+        };
+        let count_zero_stores = |module: &ModuleDef, opt: OptLevel| {
+            let compiled =
+                Compiler::new(SchemeKind::Ssp).with_opt_level(opt).compile(module).unwrap();
+            let id = compiled.by_name["f"];
+            compiled
+                .program
+                .function(id)
+                .unwrap()
+                .insts()
+                .iter()
+                .filter(|i| matches!(i, Inst::MovImmToFrame { imm: 0, .. }))
+                .count()
+        };
+        assert_eq!(count_zero_stores(&module(false), OptLevel::O0), 4);
+        assert_eq!(count_zero_stores(&module(false), OptLevel::O2), 0);
+        assert_eq!(count_zero_stores(&module(true), OptLevel::O2), 4, "leaky fills observable");
+    }
+
+    #[test]
+    fn optimized_builds_preserve_detection_under_every_scheme() {
+        let overflow = vec![0x41u8; 64 + 48];
+        for kind in SchemeKind::ALL {
+            for opt in OptLevel::ALL {
+                let compiled =
+                    Compiler::new(kind).with_opt_level(opt).compile(&victim_module()).unwrap();
+                let mut machine = compiled.into_machine(0xFEED);
+                let mut process = machine.spawn();
+                process.set_input(overflow.clone());
+                let exit = machine.run(&mut process).unwrap().exit;
+                if kind == SchemeKind::Native {
+                    assert!(!exit.is_detection());
+                } else {
+                    assert!(exit.is_detection(), "{kind}@{opt} must detect: {exit:?}");
+                }
+                let mut machine2 = Compiler::new(kind)
+                    .with_opt_level(opt)
+                    .compile(&victim_module())
+                    .unwrap()
+                    .into_machine(0xFEED);
+                let mut benign = machine2.spawn();
+                benign.set_input(vec![0x41; 16]);
+                let exit = machine2.run(&mut benign).unwrap().exit;
+                assert!(exit.is_normal(), "{kind}@{opt} benign: {exit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_estimate_matches_vm_cycles_on_straight_line_functions() {
+        let module = ModuleBuilder::new()
+            .function(FunctionBuilder::new("f").buffer("buf", 32).compute(100).returns(7).build())
+            .build()
+            .unwrap();
+        for kind in [SchemeKind::Ssp, SchemeKind::Pssp] {
+            for opt in [OptLevel::O0, OptLevel::O2] {
+                let compiled = Compiler::new(kind).with_opt_level(opt).compile(&module).unwrap();
+                let estimate = compiled.analysis("f").unwrap().estimated_body_cycles;
+                let mut machine = compiled.into_machine(11);
+                let mut process = machine.spawn();
+                let outcome = machine.run(&mut process).unwrap();
+                assert!(outcome.exit.is_normal());
+                assert_eq!(
+                    estimate, outcome.cycles,
+                    "{kind}@{opt}: estimate must match the VM's benign run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn o2_pipeline_is_idempotent_on_prng_programs() {
+        use crate::frame::layout_frame;
+        use crate::pass::PassManager;
+
+        struct Rng(u64);
+        impl Rng {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+            fn below(&mut self, n: u64) -> u64 {
+                self.next() % n
+            }
+        }
+
+        for seed in 0..16u64 {
+            let mut rng = Rng(seed);
+            let mut f = FunctionBuilder::new("f");
+            let critical = rng.below(2) == 0;
+            f = if critical { f.critical_buffer("buf", 32) } else { f.buffer("buf", 32) };
+            for _ in 0..rng.below(3) {
+                f = f.compute(rng.below(200));
+            }
+            if rng.below(2) == 0 {
+                f = f.zero_fill("buf");
+            }
+            if rng.below(2) == 0 {
+                f = f.safe_copy("buf");
+            }
+            if rng.below(3) == 0 {
+                f = f.leak("buf", 2);
+            }
+            f = f.returns(rng.below(100)).compute(rng.below(50));
+            let func = f.build();
+
+            let pm = PassManager::standard(OptLevel::O2);
+            let mut ir_once = func.clone();
+            pm.transform_ir(&mut ir_once);
+            let mut ir_twice = ir_once.clone();
+            pm.transform_ir(&mut ir_twice);
+            assert_eq!(ir_once, ir_twice, "transform_ir must be idempotent (seed {seed})");
+
+            for kind in SchemeKind::ALL {
+                let scheme = kind.scheme();
+                let layout = layout_frame(&ir_once, scheme.as_ref()).unwrap();
+                let ids = HashMap::from([("f".to_string(), FuncId(0))]);
+                let mut body = lower_function(&ir_once, &layout, scheme.as_ref(), &ids).unwrap();
+                let mut analysis = pm.run(&ir_once);
+                let ctx = PassCtx { scheme: kind, layout: &layout, preserve_canary_shapes: false };
+                pm.transform_insts(&mut body, &ctx, &mut analysis);
+                let once = body.clone();
+                pm.transform_insts(&mut body, &ctx, &mut analysis);
+                assert_eq!(body, once, "{kind} seed {seed}: O2 twice must equal O2 once");
+            }
+        }
     }
 
     #[test]

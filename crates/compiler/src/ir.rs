@@ -76,6 +76,13 @@ pub enum Stmt {
         /// Simulated cycles of work.
         cycles: u64,
     },
+    /// Zero-fill a local buffer — the `memset(buf, 0, sizeof buf)` /
+    /// `char buf[N] = {0};` model.  Subject to dead-store elimination at
+    /// `O2` when the zeroed bytes are provably unobservable.
+    InitBuffer {
+        /// Index of the buffer local to zero.
+        local: usize,
+    },
     /// Copy the process input into a local buffer.
     WriteBuffer {
         /// Index of the destination local.
@@ -141,7 +148,7 @@ impl FunctionDef {
     pub fn validate(&self) -> Result<(), CompileError> {
         for stmt in &self.body {
             match stmt {
-                Stmt::WriteBuffer { local, .. } => {
+                Stmt::WriteBuffer { local, .. } | Stmt::InitBuffer { local } => {
                     let decl = self.locals.get(*local).ok_or(CompileError::UnknownLocal {
                         function: self.name.clone(),
                         index: *local,
@@ -292,6 +299,18 @@ impl FunctionBuilder {
         self
     }
 
+    /// Zero-fills the buffer `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was not declared.
+    #[must_use]
+    pub fn zero_fill(mut self, buf: &str) -> Self {
+        let local = self.local_index(buf);
+        self.def.body.push(Stmt::InitBuffer { local });
+        self
+    }
+
     /// Adds a memory-disclosure over-read of `words` words starting at `buf`.
     ///
     /// # Panics
@@ -426,6 +445,16 @@ mod tests {
             name: "f".into(),
             locals: vec![Local { name: "x".into(), kind: LocalKind::Scalar }],
             body: vec![Stmt::WriteBuffer { local: 0, source: WriteSource::InputUnbounded }],
+        };
+        assert!(matches!(f.validate(), Err(CompileError::NotABuffer { .. })));
+    }
+
+    #[test]
+    fn function_validation_rejects_zero_fill_of_scalar() {
+        let f = FunctionDef {
+            name: "f".into(),
+            locals: vec![Local { name: "x".into(), kind: LocalKind::Scalar }],
+            body: vec![Stmt::InitBuffer { local: 0 }],
         };
         assert!(matches!(f.validate(), Err(CompileError::NotABuffer { .. })));
     }

@@ -7,7 +7,9 @@
 //! * [`ir`] — the MiniC intermediate representation: functions with typed
 //!   locals (scalars, buffers, critical buffers) and bodies made of
 //!   computation, calls and possibly-overflowing buffer writes.
-//! * [`pass`] — the pass-manager skeleton mirroring the plugin structure.
+//! * [`pass`] — the optimizing pass pipeline mirroring the plugin
+//!   structure: analysis, IR transforms and instruction transforms selected
+//!   by [`pass::OptLevel`].
 //! * [`frame`] — stack-frame layout with SSP-style buffer reordering and the
 //!   per-critical-variable guard slots of P-SSP-LV.
 //! * [`codegen`] — lowering to VM instructions with the scheme-provided
@@ -51,7 +53,7 @@ pub use codegen::{code_expansion, CodeExpansion, CompiledModule, Compiler};
 pub use error::CompileError;
 pub use frame::{layout_frame, FrameLayout};
 pub use ir::{FunctionBuilder, FunctionDef, Local, LocalKind, ModuleBuilder, ModuleDef, Stmt};
-pub use pass::{FunctionAnalysis, FunctionPass, PassManager};
+pub use pass::{FunctionAnalysis, FunctionPass, LoweredBody, OptLevel, PassCtx, PassManager};
 
 #[cfg(test)]
 mod tests {

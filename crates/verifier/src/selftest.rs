@@ -2,13 +2,15 @@
 //!
 //! Every [`InjectedDefect`] builds a clean victim, plants one specific
 //! instrumentation defect — a skipped prologue, a canary-slot clobber, an
-//! epilogue dropped on one branch, a jumped-over (dead) check, or a stale
-//! rewrite — and runs the verifier over the result.  The battery doubles as
+//! epilogue dropped on one branch, a jumped-over (dead) check, a stale
+//! rewrite, or an optimizer pass deleting the strength-reduced check from
+//! an O2 build — and runs the verifier over the result.  The battery
+//! doubles as
 //! the negative control for the `harness verify` CI gate: a verifier that
 //! stays silent on these programs is broken, however clean the real cells
 //! look.
 
-use polycanary_compiler::{CompiledModule, Compiler, FunctionBuilder, ModuleBuilder};
+use polycanary_compiler::{CompiledModule, Compiler, FunctionBuilder, ModuleBuilder, OptLevel};
 use polycanary_core::scheme::SchemeKind;
 use polycanary_rewriter::Rewriter;
 use polycanary_vm::inst::Inst;
@@ -31,16 +33,21 @@ pub enum InjectedDefect {
     DeadCheck,
     /// A rewritten program with one function's original SSP body restored.
     StaleRewrite,
+    /// A miscompiling optimizer: the strength-reduced epilogue check of an
+    /// O2 build is deleted, as a buggy transform pass would.
+    OptimizerDroppedCheck,
 }
 
 impl InjectedDefect {
-    /// Every defect, in [`CheckKind::ALL`] order.
-    pub const ALL: [InjectedDefect; 5] = [
+    /// Every defect, in [`CheckKind::ALL`] order (with the optimizer
+    /// miscompile — a second `UncheckedReturn` producer — last).
+    pub const ALL: [InjectedDefect; 6] = [
         InjectedDefect::SkippedPrologue,
         InjectedDefect::ClobberedCanary,
         InjectedDefect::DroppedEpilogue,
         InjectedDefect::DeadCheck,
         InjectedDefect::StaleRewrite,
+        InjectedDefect::OptimizerDroppedCheck,
     ];
 
     /// Stable CLI label (`harness verify --inject <label>`).
@@ -51,6 +58,7 @@ impl InjectedDefect {
             InjectedDefect::DroppedEpilogue => "dropped-epilogue",
             InjectedDefect::DeadCheck => "dead-check",
             InjectedDefect::StaleRewrite => "stale-rewrite",
+            InjectedDefect::OptimizerDroppedCheck => "optimizer-dropped-check",
         }
     }
 
@@ -67,6 +75,7 @@ impl InjectedDefect {
             InjectedDefect::DroppedEpilogue => CheckKind::UncheckedReturn,
             InjectedDefect::DeadCheck => CheckKind::DeadCheck,
             InjectedDefect::StaleRewrite => CheckKind::RewriteSoundness,
+            InjectedDefect::OptimizerDroppedCheck => CheckKind::UncheckedReturn,
         }
     }
 
@@ -89,6 +98,26 @@ impl InjectedDefect {
                 rewritten.replace_function_body(id, func.insts().to_vec()).expect("id is valid");
                 verify_rewritten(&original, &rewritten)
             }
+            InjectedDefect::OptimizerDroppedCheck => {
+                // At O2 the leaf victim's epilogue is strength-reduced to an
+                // in-place compare; a buggy pass deleting that 3-instruction
+                // check leaves the stored canary unchecked at `ret`.
+                let mut module = victim_module_at(SchemeKind::Ssp, OptLevel::O2);
+                let id = module.by_name["handle_request"];
+                let mut insts = module
+                    .program
+                    .function(id)
+                    .expect("victim has handle_request")
+                    .insts()
+                    .to_vec();
+                let check = insts
+                    .iter()
+                    .position(|inst| matches!(inst, Inst::CmpFrameReg { offset: -8, .. }))
+                    .expect("O2 epilogue compares the canary slot in place");
+                insts.drain(check..check + 3); // compare, branch, __stack_chk_fail
+                module.program.replace_function_body(id, insts).expect("id is valid");
+                verify_compiled(&module)
+            }
             defect => {
                 let mut module = victim_module(SchemeKind::Ssp);
                 inject(&mut module, *defect);
@@ -107,6 +136,11 @@ impl std::fmt::Display for InjectedDefect {
 /// The fixed victim every defect is planted into: one protected function
 /// with a buffer and a bounded copy, called from an unprotected `main`.
 fn victim_module(scheme: SchemeKind) -> CompiledModule {
+    victim_module_at(scheme, OptLevel::O0)
+}
+
+/// [`victim_module`] at an explicit optimization level.
+fn victim_module_at(scheme: SchemeKind, opt: OptLevel) -> CompiledModule {
     let module = ModuleBuilder::new()
         .function(
             FunctionBuilder::new("handle_request")
@@ -122,7 +156,7 @@ fn victim_module(scheme: SchemeKind) -> CompiledModule {
         .entry("main")
         .build()
         .expect("victim module is well-formed");
-    Compiler::new(scheme).compile(&module).expect("victim compiles")
+    Compiler::new(scheme).with_opt_level(opt).compile(&module).expect("victim compiles")
 }
 
 /// Plants `defect` into the victim's `handle_request` body.
@@ -160,7 +194,9 @@ fn inject(module: &mut CompiledModule, defect: InjectedDefect) {
             // Both paths skip the check: it becomes unreachable.
             insts.splice(guard..guard, [Inst::JmpSkip(4)]);
         }
-        InjectedDefect::StaleRewrite => unreachable!("handled by InjectedDefect::run"),
+        InjectedDefect::StaleRewrite | InjectedDefect::OptimizerDroppedCheck => {
+            unreachable!("handled by InjectedDefect::run")
+        }
     }
 
     module.program.replace_function_body(id, insts).expect("id is valid");

@@ -67,6 +67,39 @@ mod tests {
     }
 
     #[test]
+    fn optimized_builds_re_prove_the_invariants_at_every_opt_level() {
+        use polycanary_compiler::OptLevel;
+        // Include a critical buffer so P-SSP-LV guard slots (and the
+        // canary-load elimination over them) are exercised too.
+        let module = ModuleBuilder::new()
+            .function(
+                FunctionBuilder::new("handle_request")
+                    .buffer("buf", 64)
+                    .critical_buffer("record", 32)
+                    .compute(50)
+                    .vulnerable_copy("buf")
+                    .compute(100)
+                    .returns(0)
+                    .compute(25)
+                    .build(),
+            )
+            .function(
+                FunctionBuilder::new("main").scalar("x").call("handle_request").returns(0).build(),
+            )
+            .entry("main")
+            .build()
+            .expect("module is well-formed");
+        for kind in SchemeKind::ALL {
+            for opt in OptLevel::ALL {
+                let compiled =
+                    Compiler::new(kind).with_opt_level(opt).compile(&module).expect("compiles");
+                let findings = verify_compiled(&compiled);
+                assert!(findings.is_empty(), "{kind}@{opt}: {findings:?}");
+            }
+        }
+    }
+
+    #[test]
     fn hand_built_ssp_body_is_clean() {
         // The canonical SSP shape the compiler emits.
         let insts = vec![

@@ -8,6 +8,7 @@
 
 use polycanary_compiler::codegen::Compiler;
 use polycanary_compiler::ir::ModuleDef;
+use polycanary_compiler::OptLevel;
 use polycanary_core::scheme::SchemeKind;
 use polycanary_rewriter::{LinkMode, Rewriter};
 use polycanary_vm::machine::Machine;
@@ -52,17 +53,34 @@ impl Build {
 /// generated programmatically and are well-formed by construction, so a
 /// failure indicates a bug in the workload generator itself.
 pub fn build_machine(module: &ModuleDef, build: Build, seed: u64) -> Machine {
+    build_machine_at(module, build, OptLevel::O0, seed)
+}
+
+/// [`build_machine`] at an explicit optimization level.
+///
+/// Rewriter builds always compile their SSP input with canary shapes
+/// preserved — the rewriter pattern-matches the canonical sequences — so
+/// only the surrounding body code benefits from optimization there.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`build_machine`].
+pub fn build_machine_at(module: &ModuleDef, build: Build, opt: OptLevel, seed: u64) -> Machine {
     match build {
         Build::Native => Compiler::new(SchemeKind::Native)
+            .with_opt_level(opt)
             .compile(module)
             .expect("workload modules always compile")
             .into_machine(seed),
         Build::Compiler(kind) => Compiler::new(kind)
+            .with_opt_level(opt)
             .compile(module)
             .expect("workload modules always compile")
             .into_machine(seed),
         Build::BinaryRewriter(mode) => {
             let compiled = Compiler::new(SchemeKind::Ssp)
+                .with_opt_level(opt)
+                .with_preserved_canary_shapes()
                 .compile(module)
                 .expect("workload modules always compile");
             let mut program = compiled.program;
@@ -138,6 +156,20 @@ mod tests {
             let mut machine = build_machine(&sample_module(), build, 1);
             let (outcome, _) = machine.spawn_and_run().unwrap();
             assert!(outcome.exit.is_normal(), "{}: {:?}", build.label(), outcome.exit);
+        }
+    }
+
+    #[test]
+    fn optimized_builds_run_normally_for_every_vehicle() {
+        for build in [
+            Build::Native,
+            Build::Compiler(SchemeKind::Pssp),
+            Build::BinaryRewriter(LinkMode::Dynamic),
+            Build::BinaryRewriter(LinkMode::Static),
+        ] {
+            let mut machine = build_machine_at(&sample_module(), build, OptLevel::O2, 1);
+            let (outcome, _) = machine.spawn_and_run().unwrap();
+            assert!(outcome.exit.is_normal(), "{} @O2: {:?}", build.label(), outcome.exit);
         }
     }
 

@@ -36,7 +36,7 @@ pub mod database;
 pub mod spec;
 pub mod webserver;
 
-pub use build::{binary_size, build_machine, Build};
+pub use build::{binary_size, build_machine, build_machine_at, Build};
 pub use database::{benchmark_database, DatabaseModel, QueryReport};
 pub use spec::{spec_suite, SpecProgram, SpecSuite};
 pub use webserver::{benchmark_server, LoadConfig, ResponseTimeReport, ServerModel, CYCLES_PER_MS};

@@ -10,9 +10,10 @@
 //! DESIGN.md §2 for the substitution argument.
 
 use polycanary_compiler::ir::{FunctionBuilder, ModuleBuilder, ModuleDef};
+use polycanary_compiler::OptLevel;
 use polycanary_vm::machine::Machine;
 
-use crate::build::{build_machine, Build};
+use crate::build::{build_machine_at, Build};
 
 /// Which half of the suite a program belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,9 +84,14 @@ impl SpecProgram {
     }
 
     /// Builds the program under `build` and measures one complete run,
-    /// returning the consumed cycles.
+    /// returning the consumed cycles (at the default `O0`).
     pub fn run(&self, build: Build, seed: u64) -> u64 {
-        let mut machine: Machine = build_machine(&self.module(), build, seed);
+        self.run_at(build, OptLevel::O0, seed)
+    }
+
+    /// [`SpecProgram::run`] at an explicit optimization level.
+    pub fn run_at(&self, build: Build, opt: OptLevel, seed: u64) -> u64 {
+        let mut machine: Machine = build_machine_at(&self.module(), build, opt, seed);
         let mut process = machine.spawn();
         process.set_input(vec![0x5Au8; 16]);
         let outcome = machine.run(&mut process).expect("SPEC-like programs have an entry point");
@@ -98,10 +104,19 @@ impl SpecProgram {
         outcome.cycles
     }
 
-    /// Runtime overhead of `build` relative to the native build, in percent.
+    /// Runtime overhead of `build` relative to the native build, in percent
+    /// (at the default `O0`).
     pub fn overhead_percent(&self, build: Build, seed: u64) -> f64 {
-        let native = self.run(Build::Native, seed) as f64;
-        let protected = self.run(build, seed) as f64;
+        self.overhead_percent_at(build, OptLevel::O0, seed)
+    }
+
+    /// [`SpecProgram::overhead_percent`] at an explicit optimization level:
+    /// both the native baseline and the protected build are compiled at
+    /// `opt`, so the ratio is honest about what an optimizing compiler
+    /// would ship.
+    pub fn overhead_percent_at(&self, build: Build, opt: OptLevel, seed: u64) -> f64 {
+        let native = self.run_at(Build::Native, opt, seed) as f64;
+        let protected = self.run_at(build, opt, seed) as f64;
         (protected - native) / native * 100.0
     }
 }
@@ -224,6 +239,19 @@ mod tests {
             instrumented > compiler,
             "instrumentation ({instrumented:.3}%) should cost more than the compiler plugin ({compiler:.3}%)"
         );
+    }
+
+    #[test]
+    fn o2_overhead_is_lower_than_o0_overhead_for_compiler_builds() {
+        // The optimizer strength-reduces the canary check in leaf workers,
+        // so against the same-level native baseline the protection overhead
+        // shrinks — the honest comparison ISSUE 9 is about.
+        let program = spec_suite()[2]; // 403.gcc-like, call heavy
+        let build = Build::Compiler(SchemeKind::Pssp);
+        let o0 = program.overhead_percent_at(build, OptLevel::O0, 7);
+        let o2 = program.overhead_percent_at(build, OptLevel::O2, 7);
+        assert!(o2 < o0, "O2 overhead {o2:.3}% must beat O0 overhead {o0:.3}%");
+        assert!(o2 > 0.0, "protection still costs something at O2: {o2:.3}%");
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! regressions trip the threshold against a timings baseline, ctx and
 //! scenario mismatches name the diverging key, future schema versions are
 //! clear errors, and the generated Markdown report is deterministic.
+//! `run_o0.json`/`run_o2.json` are the same export with only
+//! `ctx.opt_level` diverging, pinning that a deliberate opt-level change
+//! downgrades its downstream record deltas to informational.
 
 use std::path::Path;
 
@@ -156,6 +159,31 @@ fn ctx_and_scenario_mismatches_name_the_diverging_key() {
         .findings
         .iter()
         .any(|f| f.kind == "scenario-added" && f.scenario == "server-attack-v2"));
+}
+
+#[test]
+fn opt_level_only_ctx_divergence_downgrades_downstream_changes() {
+    // `run_o0.json` and `run_o2.json` differ only in `ctx.opt_level` (plus
+    // the record changes an opt-level switch legitimately causes).  Like a
+    // reseed, a deliberate opt-level change explains its downstream deltas:
+    // the diverged key is named and everything downstream is informational.
+    let report = diff_runs(
+        &fixture_run("run_o0.json"),
+        &fixture_run("run_o2.json"),
+        None,
+        &DiffOptions::default(),
+    );
+    assert!(!report.has_regressions(), "{:?}", report.findings);
+    let ctx = report.findings.iter().find(|f| f.kind == "ctx-diverged").unwrap();
+    assert!(ctx.message.contains("ctx.opt_level"), "{}", ctx.message);
+    assert!(ctx.message.contains("O0") && ctx.message.contains("O2"), "{}", ctx.message);
+    let flip = report.findings.iter().find(|f| f.kind == "verdict-flip").unwrap();
+    assert_eq!(flip.severity, Severity::Info, "{flip:?}");
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.kind != "ctx-diverged")
+        .all(|f| f.severity == Severity::Info));
 }
 
 #[test]

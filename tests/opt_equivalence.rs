@@ -1,0 +1,173 @@
+//! Differential oracle for the optimizing pipeline: O0 and O2 builds of the
+//! same program are semantically equivalent.
+//!
+//! The transform passes are sold as *pure accelerations*: whatever the
+//! optimizer does to a body — folding computes, eliminating dead stores,
+//! rescheduling the prologue, strength-reducing the epilogue check — the
+//! observable behavior of the program (exit status and attacker-visible
+//! output) must be identical to the unoptimized build; only cycle and
+//! instruction counts may move.  This suite enforces that over
+//! PRNG-generated MiniC programs — buffers, critical buffers, zero fills,
+//! bounded and unbounded copies (including overflowing ones that must be
+//! *detected* identically), leaks, computes — across every deployment
+//! vehicle: all ten compiler schemes plus both rewriter link modes.
+//!
+//! One carve-out, by design: P-SSP-OWF's unoptimized epilogue re-encrypts
+//! the frame with an `rdtsc`-derived nonce, which clobbers `rax` after the
+//! return value is set and makes leaked canary bytes cycle-dependent — so
+//! its cells compare exit *class* (normal vs detected) rather than exact
+//! exit codes, and its generated programs carry no leaks.
+
+use polycanary::compiler::ir::{FunctionBuilder, ModuleBuilder, ModuleDef};
+use polycanary::compiler::OptLevel;
+use polycanary::core::SchemeKind;
+use polycanary::rewriter::LinkMode;
+use polycanary::vm::RunOutcome;
+use polycanary::workloads::{build_machine_at, Build};
+
+/// Deterministic PRNG for program generation (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generates a random well-formed module: a `main` calling a handful of
+/// leaf workers, each mixing the statement shapes every transform pass
+/// keys on.  `allow_leak` gates `LeakFrame` emission (off for OWF cells).
+fn gen_module(rng: &mut Rng, allow_leak: bool) -> ModuleDef {
+    let nworkers = 1 + rng.below(3);
+    let mut builder = ModuleBuilder::new();
+    let mut main = FunctionBuilder::new("main").scalar("x");
+    for w in 0..nworkers {
+        for _ in 0..(1 + rng.below(3)) {
+            main = main.call(format!("w{w}"));
+        }
+    }
+    builder = builder.function(main.returns(rng.below(4)).build());
+    for w in 0..nworkers {
+        let mut f = FunctionBuilder::new(format!("w{w}"));
+        let has_buffer = rng.below(4) != 0;
+        if has_buffer {
+            f = f.buffer("buf", 16 + 8 * rng.below(5) as u32);
+        }
+        if rng.below(3) == 0 {
+            f = f.critical_buffer("secret", 16);
+        }
+        for _ in 0..rng.below(4) {
+            // Includes zero-cycle computes: const-fold fodder.
+            f = f.compute(rng.below(150));
+        }
+        if has_buffer {
+            if rng.below(2) == 0 {
+                f = f.zero_fill("buf");
+            }
+            match rng.below(3) {
+                // An unbounded copy: with a long enough input this
+                // overflows and both levels must *detect* it identically.
+                0 => f = f.vulnerable_copy("buf"),
+                _ => f = f.safe_copy("buf"),
+            }
+            if allow_leak && rng.below(3) == 0 {
+                f = f.leak("buf", 1 + rng.below(3) as u32);
+            }
+        }
+        f = f.returns(rng.below(100)).compute(rng.below(60));
+        builder = builder.function(f.build());
+    }
+    builder.entry("main").build().expect("generated module is well-formed")
+}
+
+/// Builds `module` under `build` at `opt` and runs it, returning the
+/// outcome and the process output.
+fn run(module: &ModuleDef, build: Build, opt: OptLevel, seed: u64) -> (RunOutcome, Vec<u8>) {
+    let mut machine = build_machine_at(module, build, opt, seed);
+    let mut process = machine.spawn();
+    process.set_input(vec![0x41u8; 20]);
+    let outcome = machine.run(&mut process).expect("generated programs have an entry point");
+    (outcome, process.take_output())
+}
+
+/// Every deployment vehicle the oracle sweeps: all ten compiler schemes
+/// plus both rewriter link modes.
+fn builds() -> Vec<Build> {
+    let mut builds: Vec<Build> = SchemeKind::ALL.into_iter().map(Build::Compiler).collect();
+    builds.push(Build::BinaryRewriter(LinkMode::Dynamic));
+    builds.push(Build::BinaryRewriter(LinkMode::Static));
+    builds
+}
+
+#[test]
+fn o0_and_o2_builds_agree_on_every_deployment_cell() {
+    for build in builds() {
+        let owf = matches!(build, Build::Compiler(SchemeKind::PsspOwf));
+        for case in 0..6u64 {
+            let mut rng = Rng(case.wrapping_mul(0x0DD5_EED5).wrapping_add(case));
+            let module = gen_module(&mut rng, !owf);
+            let seed = rng.next();
+            let label = format!("{} case {case}", build.label());
+            let (o0, out0) = run(&module, build, OptLevel::O0, seed);
+            let (o2, out2) = run(&module, build, OptLevel::O2, seed);
+            if owf {
+                // Exit class only: the O0 OWF epilogue's re-encryption
+                // clobbers the return register after `SetReturn`.
+                assert_eq!(o0.exit.is_normal(), o2.exit.is_normal(), "{label}: {o0:?} vs {o2:?}");
+            } else {
+                assert_eq!(o0.exit, o2.exit, "{label}");
+            }
+            assert_eq!(out0, out2, "{label}: attacker-visible output diverged");
+        }
+    }
+}
+
+#[test]
+fn o1_sits_between_the_endpoints_semantically() {
+    // The intermediate level runs a subset of the O2 pipeline; it must obey
+    // the same oracle against both endpoints.
+    let build = Build::Compiler(SchemeKind::Pssp);
+    for case in 0..6u64 {
+        let mut rng = Rng(0xA11_0CA7 ^ case);
+        let module = gen_module(&mut rng, true);
+        let seed = rng.next();
+        let (o0, out0) = run(&module, build, OptLevel::O0, seed);
+        let (o1, out1) = run(&module, build, OptLevel::O1, seed);
+        let (o2, out2) = run(&module, build, OptLevel::O2, seed);
+        assert_eq!(o0.exit, o1.exit, "case {case}");
+        assert_eq!(o1.exit, o2.exit, "case {case}");
+        assert_eq!(out0, out1, "case {case}");
+        assert_eq!(out1, out2, "case {case}");
+    }
+}
+
+#[test]
+fn optimization_never_costs_cycles() {
+    // Beyond equivalence, the point of the pipeline: on every generated
+    // program × vehicle, the O2 build runs at most as many cycles as O0.
+    for build in builds() {
+        let owf = matches!(build, Build::Compiler(SchemeKind::PsspOwf));
+        for case in 0..4u64 {
+            let mut rng = Rng(0xC0DE ^ (case << 8));
+            let module = gen_module(&mut rng, !owf);
+            let seed = rng.next();
+            let (o0, _) = run(&module, build, OptLevel::O0, seed);
+            let (o2, _) = run(&module, build, OptLevel::O2, seed);
+            assert!(
+                o2.cycles <= o0.cycles,
+                "{} case {case}: O2 ran {} cycles vs O0's {}",
+                build.label(),
+                o2.cycles,
+                o0.cycles
+            );
+        }
+    }
+}

@@ -19,17 +19,18 @@ use crate::run::Run;
 use crate::scrub::{scrub, scrub_all};
 
 /// Registry metadata for one report section, supplied by the harness from
-/// `experiments::registry()`.
+/// `experiments::registry()`.  Owned strings, because generated scenarios
+/// (`gen:<lattice>:<cell>`) synthesize their metadata at runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SectionMeta {
     /// Scenario registry name (`table1`, `fig5`, …).
-    pub name: &'static str,
+    pub name: String,
     /// Section heading (the paper artefact the scenario reproduces).
-    pub title: &'static str,
+    pub title: String,
     /// One-line description of what the scenario measures.
-    pub description: &'static str,
+    pub description: String,
     /// The annotation comparing this scenario's output to the paper.
-    pub paper_note: &'static str,
+    pub paper_note: String,
 }
 
 /// One scenario section of a [`RunSummary`].
@@ -62,14 +63,14 @@ impl RunSummary {
         let mut sections = Vec::new();
         let mut seen = Vec::new();
         for meta in metas {
-            if let Some(scenario) = run.scenarios.get(meta.name) {
-                seen.push(meta.name);
+            if let Some(scenario) = run.scenarios.get(&meta.name) {
+                seen.push(meta.name.as_str());
                 sections.push(ScenarioSummary {
-                    scenario: meta.name.to_string(),
+                    scenario: meta.name.clone(),
                     meta: Some(meta.clone()),
                     ctx: scrub(&scenario.ctx),
                     records: scrub_all(&scenario.records),
-                    wall_ms: run.timings.get(meta.name).map(|t| t.wall_ms),
+                    wall_ms: run.timings.get(&meta.name).map(|t| t.wall_ms),
                 });
             }
         }
@@ -103,7 +104,7 @@ impl RunSummary {
             .map(|section| {
                 let mut rec = Record::new().field("scenario", section.scenario.as_str());
                 if let Some(meta) = &section.meta {
-                    rec.push("title", meta.title);
+                    rec.push("title", meta.title.as_str());
                 }
                 rec.push("ctx", section.ctx.clone());
                 rec.push("records", section.records.clone());
@@ -123,9 +124,10 @@ impl RunSummary {
         let mut out = String::new();
         out.push_str(
             "<!-- GENERATED by `harness report` from the JSON export envelopes of a\n\
-             `--quick all` run. Do not edit by hand: regenerate with\n\n\
+             `--quick --lattice smoke all` run. Do not edit by hand: regenerate with\n\n\
              \x20    cargo run --release -p polycanary-bench --bin harness -- \\\n\
-             \x20        --quick --format json --out /tmp/experiments all\n\
+             \x20        --quick --lattice smoke --gen-seed 7 \\\n\
+             \x20        --format json --out /tmp/experiments all\n\
              \x20    cargo run --release -p polycanary-bench --bin harness -- \\\n\
              \x20        report /tmp/experiments --out EXPERIMENTS.md\n\n\
              CI regenerates this file and fails on drift (git diff --exit-code). -->\n\n",
@@ -143,7 +145,8 @@ impl RunSummary {
             render_ctx_table(ctx, &mut out);
         }
         for section in &self.sections {
-            let title = section.meta.as_ref().map(|m| m.title).unwrap_or(&section.scenario);
+            let title =
+                section.meta.as_ref().map(|m| m.title.as_str()).unwrap_or(&section.scenario);
             out.push_str(&format!("\n## {title}\n\n"));
             if let Some(meta) = &section.meta {
                 out.push_str(&format!("`{}` — {}\n\n", meta.name, meta.description));
@@ -159,7 +162,7 @@ impl RunSummary {
             }
             render_record_table(&section.records, &mut out);
             if let Some(note) =
-                section.meta.as_ref().map(|m| m.paper_note).filter(|n| !n.is_empty())
+                section.meta.as_ref().map(|m| m.paper_note.as_str()).filter(|n| !n.is_empty())
             {
                 out.push_str(&format!("\n**Paper:** {note}\n"));
             }
@@ -266,20 +269,22 @@ mod tests {
     use super::*;
     use polycanary_core::record::export_envelope;
 
-    const METAS: &[SectionMeta] = &[
-        SectionMeta {
-            name: "table1",
-            title: "Table I: defences",
-            description: "defence comparison",
-            paper_note: "only P-SSP combines everything",
-        },
-        SectionMeta {
-            name: "fig5",
-            title: "Figure 5: overhead",
-            description: "SPEC-like overhead",
-            paper_note: "",
-        },
-    ];
+    fn metas() -> Vec<SectionMeta> {
+        vec![
+            SectionMeta {
+                name: "table1".into(),
+                title: "Table I: defences".into(),
+                description: "defence comparison".into(),
+                paper_note: "only P-SSP combines everything".into(),
+            },
+            SectionMeta {
+                name: "fig5".into(),
+                title: "Figure 5: overhead".into(),
+                description: "SPEC-like overhead".into(),
+                paper_note: String::new(),
+            },
+        ]
+    }
 
     fn sample_run() -> Run {
         let mut run = Run::new();
@@ -305,7 +310,7 @@ mod tests {
 
     #[test]
     fn sections_follow_registry_order_then_alphabetical_leftovers() {
-        let summary = RunSummary::new(&sample_run(), METAS);
+        let summary = RunSummary::new(&sample_run(), &metas());
         let names: Vec<&str> = summary.sections.iter().map(|s| s.scenario.as_str()).collect();
         assert_eq!(names, ["table1", "zeta"]);
         assert!(summary.sections[0].meta.is_some());
@@ -315,9 +320,9 @@ mod tests {
 
     #[test]
     fn markdown_is_deterministic_and_scrubbed() {
-        let summary = RunSummary::new(&sample_run(), METAS);
+        let summary = RunSummary::new(&sample_run(), &metas());
         let once = summary.to_markdown();
-        let twice = RunSummary::new(&sample_run(), METAS).to_markdown();
+        let twice = RunSummary::new(&sample_run(), &metas()).to_markdown();
         assert_eq!(once, twice, "rendering must be a pure function of the run");
         assert!(once.contains("## Table I: defences"), "{once}");
         assert!(once.contains("breaks 3/3, 3173 reqs"), "{once}");
@@ -330,7 +335,7 @@ mod tests {
 
     #[test]
     fn record_form_nests_sections() {
-        let summary = RunSummary::new(&sample_run(), METAS);
+        let summary = RunSummary::new(&sample_run(), &metas());
         let record = summary.to_record();
         let Some(Value::List(sections)) = record.get("sections") else { panic!("sections list") };
         assert_eq!(sections.len(), 2);
@@ -346,7 +351,7 @@ mod tests {
         let records = vec![Record::new().field("a", 1u64), Record::new().field("b", "two|pipes")];
         run.ingest_json("t", &export_envelope("table1", ctx.clone(), records).to_json()).unwrap();
         run.ingest_json("e", &export_envelope("fig5", ctx, vec![]).to_json()).unwrap();
-        let md = RunSummary::new(&run, METAS).to_markdown();
+        let md = RunSummary::new(&run, &metas()).to_markdown();
         assert!(md.contains("| 1 | – |"), "{md}");
         assert!(md.contains("two\\|pipes"), "{md}");
         assert!(md.contains("(no records)"), "{md}");

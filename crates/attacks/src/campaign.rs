@@ -511,16 +511,18 @@ impl CampaignReport {
         self.configured_seeds - self.runs.len()
     }
 
-    /// Distinct victim configurations (scheme × deployment) among the
-    /// reported runs — the number of snapshots a fleet campaign needs to
-    /// build.  Deterministic: derived from the runs' seed-selected
-    /// population members, not from cache timing.
+    /// Distinct victim configurations (scheme × deployment × buffer size)
+    /// among the reported runs — the number of snapshots a fleet campaign
+    /// needs to build.  Deterministic: derived from the runs' seed-selected
+    /// population members (at their original victim indices, so rollout
+    /// fleets resolve the stage each run drew under), not from cache timing.
     pub fn snapshot_configs(&self) -> usize {
         self.runs
             .iter()
-            .map(|run| {
-                let member = self.population.member_for(run.seed);
-                (member.scheme, member.deployment)
+            .enumerate()
+            .map(|(index, run)| {
+                let member = self.population.member_at(index, run.seed);
+                (member.scheme, member.deployment, member.buffer_size)
             })
             .collect::<HashSet<_>>()
             .len()
@@ -631,6 +633,7 @@ pub struct Campaign {
     attack: AttackKind,
     population: Population,
     buffer_size: u32,
+    program: u64,
     seeds: SeedSource,
     workers: Option<usize>,
     stop_rule: StopRule,
@@ -690,6 +693,7 @@ impl Campaign {
             attack,
             population,
             buffer_size: 64,
+            program: 0,
             seeds: SeedSource::Derived { base: 0x00DD_5EED, count: DEFAULT_SEEDS },
             workers: None,
             stop_rule: StopRule::Exhaustive,
@@ -712,10 +716,19 @@ impl Campaign {
         self
     }
 
-    /// Overrides the vulnerable buffer size of every victim.
+    /// Overrides the vulnerable buffer size of every victim (population
+    /// members with an explicit buffer override keep theirs).
     #[must_use]
     pub fn with_buffer_size(mut self, size: u32) -> Self {
         self.buffer_size = size;
+        self
+    }
+
+    /// Selects a generated victim-program variant for every victim
+    /// (`0`, the default, is the canonical hand-written server).
+    #[must_use]
+    pub fn with_program(mut self, program: u64) -> Self {
+        self.program = program;
         self
     }
 
@@ -794,11 +807,25 @@ impl Campaign {
     /// can assert properties (e.g. the frame geometry) of exactly the
     /// binaries the campaign attacks.  For mixed populations the seed also
     /// selects the population member (see [`Population::member_for`]).
+    /// Rollout fleets additionally need the victim's position — use
+    /// [`Campaign::victim_config_at`] there.
     pub fn victim_config(&self, seed: u64) -> VictimConfig {
-        let member = self.population.member_for(seed);
+        self.config_for(self.population.member_for(seed), seed)
+    }
+
+    /// The victim built at position `index` with `seed` — identical to
+    /// [`Campaign::victim_config`] for static fleets; under a
+    /// [`RolloutCurve`](crate::population::RolloutCurve) the member draw
+    /// uses the stage weights in force at `index`.
+    pub fn victim_config_at(&self, index: usize, seed: u64) -> VictimConfig {
+        self.config_for(self.population.member_at(index, seed), seed)
+    }
+
+    fn config_for(&self, member: &crate::population::PopulationMember, seed: u64) -> VictimConfig {
         VictimConfig::new(member.scheme, seed)
             .with_deployment(member.deployment)
-            .with_buffer_size(self.buffer_size)
+            .with_buffer_size(member.buffer_size.unwrap_or(self.buffer_size))
+            .with_program(self.program)
     }
 
     /// Runs the campaign, fanning the per-seed runs out over the sharded
@@ -831,7 +858,7 @@ impl Campaign {
                 let seed = self.seeds.get(index);
                 CampaignRun {
                     seed,
-                    result: self.attack.run_once_with(&cache, self.victim_config(seed)),
+                    result: self.attack.run_once_with(&cache, self.victim_config_at(index, seed)),
                 }
             },
             |index, run: &CampaignRun| {
@@ -1321,6 +1348,72 @@ mod tests {
             .record();
         assert_eq!(uniform.get("population"), Some(&Value::Str("P-SSP".into())));
         assert!(uniform.get("population_mix").is_none());
+    }
+
+    #[test]
+    fn rollout_campaign_is_index_aware_and_worker_count_independent() {
+        use crate::population::{PopulationMember, RolloutCurve};
+
+        // A rollout that starts all-SSP and flips to all-P-SSP after 4
+        // victims: the early runs fall, the late runs resist, whatever the
+        // worker count.
+        let fleet = Population::from_members(
+            "staged-patch",
+            [PopulationMember::new(1, SchemeKind::Pssp), PopulationMember::new(1, SchemeKind::Ssp)],
+        )
+        .with_rollout(RolloutCurve::new(4, vec![vec![0, 1], vec![1, 0]]));
+        let base = Campaign::against(AttackKind::ByteByByte { budget: 3_000 }, fleet.clone())
+            .with_seed_range(0x5107, 8);
+        let serial = base.clone().with_workers(1).run();
+        let parallel = base.with_workers(8).run();
+        assert_eq!(serial.runs, parallel.runs);
+        for (index, run) in serial.runs.iter().enumerate() {
+            let expected = if index < 4 { SchemeKind::Ssp } else { SchemeKind::Pssp };
+            assert_eq!(run.result.scheme, expected, "victim {index}");
+            assert_eq!(run.result.success, expected == SchemeKind::Ssp, "victim {index}");
+        }
+        assert_eq!(serial.snapshot_configs(), 2);
+    }
+
+    #[test]
+    fn member_buffer_overrides_and_programs_reach_the_victim_config() {
+        use crate::population::PopulationMember;
+
+        let fleet = Population::from_members(
+            "hetero",
+            [
+                PopulationMember::new(1, SchemeKind::Pssp).with_buffer_size(128),
+                PopulationMember::new(1, SchemeKind::Ssp),
+            ],
+        );
+        let campaign = Campaign::against(AttackKind::Reuse, fleet)
+            .with_buffer_size(32)
+            .with_program(0xDEAD_BEEF);
+        for seed in campaign.seeds().into_iter().take(8) {
+            let config = campaign.victim_config(seed);
+            let expected = match config.scheme {
+                SchemeKind::Pssp => 128, // member override wins
+                _ => 32,                 // campaign default fills in
+            };
+            assert_eq!(config.buffer_size, expected);
+            assert_eq!(config.program, 0xDEAD_BEEF);
+        }
+    }
+
+    #[test]
+    fn generated_victim_programs_keep_the_paper_verdicts() {
+        // The PRNG program axis varies the binary's static shape, not the
+        // vulnerable endpoints: SSP still falls, P-SSP still resists.
+        let ssp = Campaign::new(AttackKind::ByteByByte { budget: 4_000 }, SchemeKind::Ssp)
+            .with_program(0xC0FFEE)
+            .with_seed_range(1, 4)
+            .run();
+        assert!(ssp.all_succeeded(), "{ssp:?}");
+        let pssp = Campaign::new(AttackKind::ByteByByte { budget: 4_000 }, SchemeKind::Pssp)
+            .with_program(0xC0FFEE)
+            .with_seed_range(1, 4)
+            .run();
+        assert!(pssp.none_succeeded(), "{pssp:?}");
     }
 
     #[test]

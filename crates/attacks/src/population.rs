@@ -27,7 +27,7 @@
 //! assert_eq!(fleet.member_for(42).scheme, fleet.member_for(42).scheme);
 //! ```
 
-use polycanary_core::record::Record;
+use polycanary_core::record::{Record, Value};
 use polycanary_core::scheme::SchemeKind;
 
 use crate::victim::Deployment;
@@ -43,15 +43,107 @@ pub struct PopulationMember {
     pub scheme: SchemeKind,
     /// Deployment vehicle of this slice's victims.
     pub deployment: Deployment,
+    /// Vulnerable-buffer size of this slice's victims; `None` inherits the
+    /// campaign-wide buffer size, so heterogeneous fleets can mix frame
+    /// geometries (not just schemes and deployments).
+    pub buffer_size: Option<u32>,
 }
 
 impl PopulationMember {
+    /// A compiler-deployed member inheriting the campaign buffer size.
+    pub fn new(weight: u32, scheme: SchemeKind) -> Self {
+        PopulationMember { weight, scheme, deployment: Deployment::default(), buffer_size: None }
+    }
+
+    /// Selects this member's deployment vehicle.
+    #[must_use]
+    pub fn with_deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// Overrides this member's vulnerable-buffer size.
+    #[must_use]
+    pub fn with_buffer_size(mut self, size: u32) -> Self {
+        self.buffer_size = Some(size);
+        self
+    }
+
     /// The self-describing record form of this member.
     pub fn record(&self) -> Record {
-        Record::new()
+        let record = Record::new()
             .field("weight", self.weight)
             .field("scheme", self.scheme.name())
-            .field("deployment", self.deployment.label())
+            .field("deployment", self.deployment.label());
+        match self.buffer_size {
+            Some(size) => record.field("buffer_size", size),
+            None => record,
+        }
+    }
+}
+
+/// A time-varying reweighting of a [`Population`]: the fleet's member
+/// weights change as the campaign progresses, modelling a staged patch
+/// rollout (day 1: 10 % patched, day 2: 90 %, day 3: 100 %).
+///
+/// The campaign's victim index is divided into consecutive *batches* of
+/// `batch` victims; batch `k` draws members with `stages[k]`'s weights
+/// (the last stage persists once the schedule is exhausted).  Because the
+/// stage is a pure function of the victim index and the draw is a pure
+/// function of (fleet, seed), rollout campaigns stay bitwise reproducible
+/// and worker-count independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RolloutCurve {
+    batch: usize,
+    stages: Vec<Vec<u32>>,
+}
+
+impl RolloutCurve {
+    /// A rollout schedule: `stages[k]` holds the member weights in force
+    /// for victims `k*batch .. (k+1)*batch`; the final stage applies to
+    /// every victim beyond the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` is zero, `stages` is empty, or any stage has no
+    /// positive weight — all configuration bugs, not runtime conditions.
+    pub fn new(batch: usize, stages: Vec<Vec<u32>>) -> Self {
+        assert!(batch > 0, "a rollout batch must cover at least one victim");
+        assert!(!stages.is_empty(), "a rollout curve needs at least one stage");
+        for (index, stage) in stages.iter().enumerate() {
+            assert!(
+                stage.iter().any(|&w| w > 0),
+                "rollout stage {index} has no positively weighted member"
+            );
+        }
+        RolloutCurve { batch, stages }
+    }
+
+    /// Victims per stage.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The per-stage weight vectors.
+    pub fn stages(&self) -> &[Vec<u32>] {
+        &self.stages
+    }
+
+    /// The weights in force for the victim at `index` (the last stage
+    /// persists past the end of the schedule).
+    pub fn stage_for(&self, index: usize) -> &[u32] {
+        let stage = (index / self.batch).min(self.stages.len() - 1);
+        &self.stages[stage]
+    }
+
+    /// The self-describing record form of this curve.
+    pub fn record(&self) -> Record {
+        let stages: Vec<Value> = self
+            .stages
+            .iter()
+            .map(|stage| Value::List(stage.iter().map(|&w| Value::from(u64::from(w))).collect()))
+            .collect();
+        Record::new().field("batch", self.batch as u64).field("stages", stages)
     }
 }
 
@@ -69,6 +161,7 @@ impl PopulationMember {
 pub struct Population {
     label: String,
     members: Vec<PopulationMember>,
+    rollout: Option<RolloutCurve>,
     salt: u64,
 }
 
@@ -76,10 +169,7 @@ impl Population {
     /// The degenerate fleet every paper table uses: all victims run
     /// `scheme` via the compiler deployment.
     pub fn uniform(scheme: SchemeKind) -> Self {
-        Population::build(
-            scheme.name().to_string(),
-            vec![PopulationMember { weight: 1, scheme, deployment: Deployment::default() }],
-        )
+        Population::build(scheme.name().to_string(), vec![PopulationMember::new(1, scheme)], None)
     }
 
     /// A mixed fleet from `(weight, scheme)` parts, all compiler-deployed.
@@ -95,20 +185,53 @@ impl Population {
         let members: Vec<PopulationMember> = parts
             .into_iter()
             .filter(|(weight, _)| *weight > 0)
-            .map(|(weight, scheme)| PopulationMember {
-                weight,
-                scheme,
-                deployment: Deployment::default(),
-            })
+            .map(|(weight, scheme)| PopulationMember::new(weight, scheme))
             .collect();
         assert!(!members.is_empty(), "a population needs at least one positively weighted member");
-        Population::build(label.into(), members)
+        Population::build(label.into(), members, None)
     }
 
-    /// Finalizes a fleet: the member-draw salt folds the label and the
-    /// member mix (FNV-1a), so two different fleets never share a ticket
-    /// sequence over the same seed list.
-    fn build(label: String, members: Vec<PopulationMember>) -> Self {
+    /// A fleet from fully specified members, each free to pick its own
+    /// scheme, deployment *and* buffer size — the constructor heterogeneous
+    /// scenario-grammar populations use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no member has a positive weight.
+    pub fn from_members(
+        label: impl Into<String>,
+        members: impl IntoIterator<Item = PopulationMember>,
+    ) -> Self {
+        let members: Vec<PopulationMember> = members.into_iter().filter(|m| m.weight > 0).collect();
+        assert!(!members.is_empty(), "a population needs at least one positively weighted member");
+        Population::build(label.into(), members, None)
+    }
+
+    /// Attaches a time-varying [`RolloutCurve`]: member draws switch from
+    /// the static weights to the curve's per-batch stage weights.  The
+    /// result is a different fleet, so its member-draw salt is recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any stage's weight vector does not have exactly one
+    /// weight per member.
+    #[must_use]
+    pub fn with_rollout(self, curve: RolloutCurve) -> Self {
+        for (index, stage) in curve.stages().iter().enumerate() {
+            assert_eq!(
+                stage.len(),
+                self.members.len(),
+                "rollout stage {index} must weight all {} members",
+                self.members.len()
+            );
+        }
+        Population::build(self.label, self.members, Some(curve))
+    }
+
+    /// Finalizes a fleet: the member-draw salt folds the label, the member
+    /// mix and any rollout curve (FNV-1a), so two different fleets never
+    /// share a ticket sequence over the same seed list.
+    fn build(label: String, members: Vec<PopulationMember>, rollout: Option<RolloutCurve>) -> Self {
         let mut salt = 0xCBF2_9CE4_8422_2325u64;
         let mut fold = |bytes: &[u8]| {
             for &b in bytes {
@@ -120,8 +243,23 @@ impl Population {
             fold(&member.weight.to_le_bytes());
             fold(member.scheme.name().as_bytes());
             fold(member.deployment.label().as_bytes());
+            // Only an explicit override is folded, so fleets predating the
+            // buffer axis keep their historical salts (and draw sequences).
+            if let Some(size) = member.buffer_size {
+                fold(b"buffer");
+                fold(&size.to_le_bytes());
+            }
         }
-        Population { label, members, salt }
+        if let Some(curve) = &rollout {
+            fold(b"rollout");
+            fold(&(curve.batch() as u64).to_le_bytes());
+            for stage in curve.stages() {
+                for weight in stage {
+                    fold(&weight.to_le_bytes());
+                }
+            }
+        }
+        Population { label, members, rollout, salt }
     }
 
     /// Display label of the fleet ("P-SSP" for uniform populations).
@@ -154,7 +292,12 @@ impl Population {
         for member in &mut self.members {
             member.deployment = deployment;
         }
-        Population::build(self.label, self.members)
+        Population::build(self.label, self.members, self.rollout)
+    }
+
+    /// The rollout curve, when this fleet's weights vary over time.
+    pub fn rollout(&self) -> Option<&RolloutCurve> {
+        self.rollout.as_ref()
     }
 
     /// The member the victim with `seed` draws: the fleet-salted seed is
@@ -175,12 +318,39 @@ impl Population {
         unreachable!("ticket < total weight by construction")
     }
 
+    /// The member the victim at position `index` with `seed` draws.  For a
+    /// static fleet this is exactly [`member_for`](Population::member_for);
+    /// under a [`RolloutCurve`] the draw uses the stage weights in force at
+    /// `index`, so the fleet's mix shifts as the campaign progresses while
+    /// each individual draw stays a pure function of (fleet, index, seed).
+    pub fn member_at(&self, index: usize, seed: u64) -> &PopulationMember {
+        let Some(curve) = &self.rollout else {
+            return self.member_for(seed);
+        };
+        let weights = curve.stage_for(index);
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        let mut ticket = mix64(seed ^ self.salt) % total;
+        for (member, &weight) in self.members.iter().zip(weights) {
+            let weight = u64::from(weight);
+            if ticket < weight {
+                return member;
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket < total stage weight by construction")
+    }
+
     /// The self-describing record form of this fleet: label plus the
-    /// weighted member mix.
+    /// weighted member mix (and the rollout curve, when one is attached).
     pub fn record(&self) -> Record {
-        Record::new()
-            .field("label", self.label.as_str())
-            .field("members", self.members.iter().map(PopulationMember::record).collect::<Vec<_>>())
+        let record = Record::new().field("label", self.label.as_str()).field(
+            "members",
+            self.members.iter().map(PopulationMember::record).collect::<Vec<_>>(),
+        );
+        match &self.rollout {
+            Some(curve) => record.field("rollout", curve.record()),
+            None => record,
+        }
     }
 }
 
@@ -268,6 +438,84 @@ mod tests {
         let draws =
             |p: &Population| seeds.iter().map(|&s| p.member_for(s).scheme).collect::<Vec<_>>();
         assert_ne!(draws(&compiler), draws(&rewriter));
+    }
+
+    #[test]
+    fn from_members_mixes_deployments_and_buffer_sizes() {
+        let pop = Population::from_members(
+            "hetero",
+            [
+                PopulationMember::new(3, SchemeKind::Pssp).with_buffer_size(128),
+                PopulationMember::new(1, SchemeKind::PsspBin32)
+                    .with_deployment(Deployment::BinaryRewriter),
+            ],
+        );
+        assert!(!pop.is_uniform());
+        assert_eq!(pop.dominant().buffer_size, Some(128));
+        let seeds = derive_seeds(0xBEEF, 256);
+        let rewritten = seeds
+            .iter()
+            .filter(|&&s| pop.member_for(s).deployment == Deployment::BinaryRewriter)
+            .count();
+        assert!((25..=110).contains(&rewritten), "rewriter share {rewritten}/256");
+        // A buffer-size override changes the fleet identity (and salt).
+        let other = Population::from_members(
+            "hetero",
+            [
+                PopulationMember::new(3, SchemeKind::Pssp).with_buffer_size(96),
+                PopulationMember::new(1, SchemeKind::PsspBin32)
+                    .with_deployment(Deployment::BinaryRewriter),
+            ],
+        );
+        assert_ne!(pop, other);
+    }
+
+    #[test]
+    fn rollout_stages_shift_the_member_draws_over_time() {
+        let members =
+            [PopulationMember::new(1, SchemeKind::Pssp), PopulationMember::new(1, SchemeKind::Ssp)];
+        let curve = RolloutCurve::new(4, vec![vec![0, 1], vec![1, 0]]);
+        let pop = Population::from_members("rollout", members).with_rollout(curve);
+        let seeds = derive_seeds(7, 16);
+        for (index, &seed) in seeds.iter().enumerate() {
+            let expected = if index < 4 { SchemeKind::Ssp } else { SchemeKind::Pssp };
+            assert_eq!(pop.member_at(index, seed).scheme, expected, "victim {index}");
+        }
+        // The last stage persists past the end of the schedule.
+        assert_eq!(pop.member_at(1_000, 42).scheme, SchemeKind::Pssp);
+        // Without a curve, member_at is exactly member_for.
+        let flat = Population::mixed("flat", [(1, SchemeKind::Pssp), (1, SchemeKind::Ssp)]);
+        for (index, &seed) in seeds.iter().enumerate() {
+            assert_eq!(flat.member_at(index, seed), flat.member_for(seed));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must weight all")]
+    fn rollout_stage_width_must_match_the_member_count() {
+        let members =
+            [PopulationMember::new(1, SchemeKind::Pssp), PopulationMember::new(1, SchemeKind::Ssp)];
+        let _ = Population::from_members("bad", members)
+            .with_rollout(RolloutCurve::new(2, vec![vec![1]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no positively weighted member")]
+    fn rollout_stages_need_a_positive_weight() {
+        let _ = RolloutCurve::new(2, vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn rollout_record_nests_batch_and_stages() {
+        let members =
+            [PopulationMember::new(1, SchemeKind::Pssp), PopulationMember::new(1, SchemeKind::Ssp)];
+        let pop = Population::from_members("curve", members)
+            .with_rollout(RolloutCurve::new(3, vec![vec![1, 9], vec![9, 1]]));
+        let rec = pop.record();
+        let Some(Value::Record(rollout)) = rec.get("rollout") else { panic!("rollout: {rec:?}") };
+        assert_eq!(rollout.get("batch"), Some(&Value::UInt(3)));
+        let Some(Value::List(stages)) = rollout.get("stages") else { panic!("stages") };
+        assert_eq!(stages.len(), 2);
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub struct VictimKey {
     pub deployment: Deployment,
     /// Size of the vulnerable stack buffer in bytes.
     pub buffer_size: u32,
+    /// Victim-program generator id (`0` = the canonical module).
+    pub program: u64,
 }
 
 impl VictimKey {
@@ -52,6 +54,7 @@ impl VictimKey {
             scheme: config.scheme,
             deployment: config.deployment,
             buffer_size: config.buffer_size,
+            program: config.program,
         }
     }
 
@@ -62,6 +65,7 @@ impl VictimKey {
             buffer_size: self.buffer_size,
             deployment: self.deployment,
             seed,
+            program: self.program,
         }
     }
 }
@@ -85,7 +89,7 @@ pub struct VictimSnapshot {
 impl VictimSnapshot {
     /// Compiles (or rewrites) the victim binary for `key` and captures it.
     pub fn build(key: VictimKey) -> Self {
-        let module = victim_module(key.buffer_size);
+        let module = victim_module(key.buffer_size, key.program);
         let (program, runtime_scheme) = match key.deployment {
             Deployment::Compiler => {
                 let compiled = Compiler::new(key.scheme)
@@ -210,6 +214,7 @@ mod tests {
             scheme: SchemeKind::PsspOwf,
             deployment: Deployment::Compiler,
             buffer_size: 64,
+            program: 0,
         });
         assert_eq!(compiled.geometry().canary_region_len, 24);
         assert_eq!(compiled.runtime_scheme(), SchemeKind::PsspOwf);
@@ -220,6 +225,7 @@ mod tests {
             scheme: SchemeKind::PsspBin32,
             deployment: Deployment::BinaryRewriter,
             buffer_size: 64,
+            program: 0,
         });
         assert_eq!(rewritten.geometry().canary_region_len, 8, "rewriter keeps SSP layout");
         assert_eq!(rewritten.runtime_scheme(), SchemeKind::PsspBin32);
@@ -232,11 +238,13 @@ mod tests {
             scheme: SchemeKind::Ssp,
             deployment: Deployment::Compiler,
             buffer_size: 64,
+            program: 0,
         };
         let key_b = VictimKey {
             scheme: SchemeKind::Pssp,
             deployment: Deployment::Compiler,
             buffer_size: 64,
+            program: 0,
         };
         let first = cache.get(key_a);
         let again = cache.get(key_a);

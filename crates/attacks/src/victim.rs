@@ -70,12 +70,16 @@ pub struct VictimConfig {
     pub deployment: Deployment,
     /// Seed for all randomness (loader canary, shared library, rdrand).
     pub seed: u64,
+    /// Victim-program generator id: `0` is the canonical hand-written
+    /// server of §II-B; any other value selects a PRNG-derived variant
+    /// with the same vulnerable endpoints (see [`victim_module`]).
+    pub program: u64,
 }
 
 impl VictimConfig {
     /// A victim protected by `scheme` with the default 64-byte buffer.
     pub fn new(scheme: SchemeKind, seed: u64) -> Self {
-        VictimConfig { scheme, buffer_size: 64, deployment: Deployment::Compiler, seed }
+        VictimConfig { scheme, buffer_size: 64, deployment: Deployment::Compiler, seed, program: 0 }
     }
 
     /// Selects the binary-rewriter deployment.
@@ -91,38 +95,96 @@ impl VictimConfig {
         self.buffer_size = size;
         self
     }
+
+    /// Selects a generated victim-program variant (`0` = canonical).
+    #[must_use]
+    pub fn with_program(mut self, program: u64) -> Self {
+        self.program = program;
+        self
+    }
 }
 
 /// The MiniC source of the victim server.
-pub(crate) fn victim_module(buffer_size: u32) -> ModuleDef {
-    ModuleBuilder::new()
-        .function(
-            FunctionBuilder::new("handle_request")
-                .buffer("request_buf", buffer_size)
-                .vulnerable_copy("request_buf")
-                .compute(150)
-                .returns(0)
-                .build(),
-        )
-        .function(
-            // A helper with a memory-disclosure over-read, used by the
-            // exposure-resilience experiments: it copies the request into its
-            // own buffer (bounded) and then echoes too many stack words back —
-            // enough extra words to cover the largest canary region (P-SSP-OWF
-            // uses three words).
-            FunctionBuilder::new("leak_status")
-                .buffer("status_buf", buffer_size)
-                .safe_copy("status_buf")
-                .leak("status_buf", buffer_size / 8 + 3)
-                .returns(0)
-                .build(),
-        )
-        .function(
-            FunctionBuilder::new("main").scalar("s").call("handle_request").returns(0).build(),
-        )
+///
+/// `program == 0` yields the canonical hand-written module of §II-B,
+/// byte-for-byte identical to what every experiment before the scenario
+/// grammar attacked.  A non-zero `program` seeds a SplitMix64 PRNG that
+/// surrounds the same vulnerable endpoints with extra *safe* helper
+/// functions (protected buffers, bounded fills, pure compute — never a
+/// `vulnerable_copy` or a `leak`), so the attacker-relevant geometry and
+/// verdicts are unchanged while the static shape of the binary varies.
+/// Every generated variant must pass the verifier's five invariant
+/// checks at any opt level; `tests/scenario_grammar.rs` pins that.
+pub fn victim_module(buffer_size: u32, program: u64) -> ModuleDef {
+    let mut builder = ModuleBuilder::new().function(
+        FunctionBuilder::new("handle_request")
+            .buffer("request_buf", buffer_size)
+            .vulnerable_copy("request_buf")
+            .compute(150)
+            .returns(0)
+            .build(),
+    );
+    builder = builder.function(
+        // A helper with a memory-disclosure over-read, used by the
+        // exposure-resilience experiments: it copies the request into its
+        // own buffer (bounded) and then echoes too many stack words back —
+        // enough extra words to cover the largest canary region (P-SSP-OWF
+        // uses three words).
+        FunctionBuilder::new("leak_status")
+            .buffer("status_buf", buffer_size)
+            .safe_copy("status_buf")
+            .leak("status_buf", buffer_size / 8 + 3)
+            .returns(0)
+            .build(),
+    );
+
+    let mut main = FunctionBuilder::new("main").scalar("s");
+    if program != 0 {
+        let mut rng = SplitMix(program);
+        let helpers = 1 + rng.below(3) as usize;
+        for index in 0..helpers {
+            let name = format!("gen_helper_{index}");
+            let mut helper = FunctionBuilder::new(&name);
+            // Safe constructs only: a protected buffer (exercising the
+            // scheme's prologue/epilogue), an optional bounded fill, and
+            // some pure compute.  Nothing reads attacker input or echoes
+            // stack memory, so request/response traffic is untouched.
+            if rng.below(2) == 0 {
+                let size = 8 * (1 + rng.below(8) as u32);
+                helper = helper.buffer("gen_buf", size);
+                if rng.below(2) == 0 {
+                    helper = helper.zero_fill("gen_buf");
+                }
+            } else {
+                helper = helper.scalar("gen_s");
+            }
+            helper = helper.compute(10 + rng.below(40));
+            builder = builder.function(helper.returns(rng.next()).build());
+            main = main.call(&name);
+        }
+    }
+    builder
+        .function(main.call("handle_request").returns(0).build())
         .entry("main")
         .build()
         .expect("victim module is statically well-formed")
+}
+
+/// SplitMix64 — the same tiny PRNG the campaign seed derivation uses.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
 }
 
 #[cfg(test)]
@@ -139,12 +201,37 @@ mod tests {
     fn victim_config_builder_sets_every_field() {
         let config = VictimConfig::new(SchemeKind::Pssp, 9)
             .with_deployment(Deployment::BinaryRewriter)
-            .with_buffer_size(128);
+            .with_buffer_size(128)
+            .with_program(0xC0FFEE);
         assert_eq!(config.scheme, SchemeKind::Pssp);
         assert_eq!(config.seed, 9);
         assert_eq!(config.deployment, Deployment::BinaryRewriter);
         assert_eq!(config.buffer_size, 128);
+        assert_eq!(config.program, 0xC0FFEE);
         assert_eq!(Deployment::Compiler.label(), "compiler");
         assert_eq!(Deployment::BinaryRewriter.label(), "binary-rewriter");
+    }
+
+    #[test]
+    fn program_zero_is_the_canonical_three_function_module() {
+        let module = victim_module(64, 0);
+        let names: Vec<&str> = module.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["handle_request", "leak_status", "main"]);
+    }
+
+    #[test]
+    fn generated_programs_are_deterministic_and_keep_the_endpoints() {
+        let a = victim_module(64, 0xDEAD_BEEF);
+        let b = victim_module(64, 0xDEAD_BEEF);
+        assert_eq!(a, b, "same program id must generate the same module");
+        let names: Vec<&str> = a.functions.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"handle_request"));
+        assert!(names.contains(&"leak_status"));
+        assert!(names.contains(&"main"));
+        assert!(
+            names.iter().any(|n| n.starts_with("gen_helper_")),
+            "non-zero program ids add generated helpers"
+        );
+        assert_ne!(a, victim_module(64, 0xFEED_FACE), "distinct ids vary the module");
     }
 }

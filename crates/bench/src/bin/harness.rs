@@ -36,8 +36,9 @@ use polycanary_analysis::diff::{diff_runs, DiffOptions};
 use polycanary_analysis::run::Run;
 use polycanary_analysis::summary::RunSummary;
 use polycanary_bench::experiments::{
-    registry, report_sections, Experiment, ExperimentCtx, ExportFormat,
+    registry, registry_with, report_sections, Experiment, ExperimentCtx, ExportFormat,
 };
+use polycanary_bench::grammar;
 use polycanary_bench::verify::{run_inject, run_verify, InjectedDefect};
 use polycanary_compiler::{OptLevel, PassManager};
 use polycanary_core::record::{
@@ -47,8 +48,8 @@ use polycanary_core::record::{
 fn print_usage() {
     eprintln!(
         "usage: harness [--seed N] [--quick] [--adaptive] [--workers N] [--fleet N] \
-         [--opt-level L] [--format text|json|csv] [--out DIR] [--timings FILE] [--list] \
-         [--list-passes] <scenario>...\n\
+         [--opt-level L] [--lattice NAME] [--gen-seed N] [--format text|json|csv] [--out DIR] \
+         [--timings FILE] [--list] [--list-passes] <scenario>...\n\
          \x20      harness diff OLD NEW [--baseline FILE] [--threshold PCT] [--format text|json]\n\
          \x20      harness report DIR [--out FILE] [--format md|json]\n\
          \x20      harness verify [--quick] [--inject DEFECT] [--format text|json] [--out FILE]"
@@ -62,6 +63,10 @@ fn print_usage() {
         };
         eprintln!("  {:<14} {}{aliases}", experiment.name(), experiment.description());
     }
+    eprintln!("lattices (scenario grammar, `--lattice NAME` adds their `gen:*` cells):");
+    for lattice in grammar::lattices() {
+        eprintln!("  {:<14} {}", lattice.name(), lattice.description());
+    }
     eprintln!(
         "--quick       smaller workloads and campaigns (CI-sized)\n\
          --adaptive    stop single-rule campaigns once their verdict settles\n\
@@ -70,6 +75,10 @@ fn print_usage() {
          \x20             victims per cell (population and server-attack scenarios)\n\
          --opt-level L compiler optimization level (O0, O1 or O2; default O2) —\n\
          \x20             overhead scenarios report O0 plus L as a grid\n\
+         --lattice NAME  register the named lattice's generated `gen:NAME:*`\n\
+         \x20             scenarios alongside the static registry; with no\n\
+         \x20             positional scenario, runs exactly those cells\n\
+         --gen-seed N  generator seed for `--lattice` victim programs (default 7)\n\
          --list-passes print the pass pipeline for the selected --opt-level and exit\n\
          --format      text (default), json (self-describing envelopes) or csv (bare records)\n\
          --out DIR     write one <scenario>.<ext> file per scenario to DIR\n\
@@ -123,6 +132,9 @@ fn main() {
     let mut out_dir: Option<PathBuf> = None;
     let mut timings_path: Option<PathBuf> = None;
     let mut list_passes = false;
+    let mut list = false;
+    let mut lattice: Option<String> = None;
+    let mut gen_seed: u64 = 7;
     let mut selected = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -191,12 +203,23 @@ fn main() {
                     .unwrap_or_else(|err: String| usage_error(&format!("--opt-level: {err}")));
                 ctx = ctx.with_opt_level(opt);
             }
-            "--list" => {
-                for experiment in registry() {
-                    println!("{}\t{}", experiment.name(), experiment.title());
-                }
-                return;
+            "--lattice" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--lattice requires a lattice name");
+                };
+                lattice = Some(value);
             }
+            "--gen-seed" => {
+                let Some(value) = iter.next() else {
+                    usage_error("--gen-seed requires a value");
+                };
+                gen_seed = value.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("invalid --gen-seed value `{value}`"))
+                });
+            }
+            // Deferred below the flag loop so `--list --lattice smoke`
+            // and the reverse order list the same catalogue.
+            "--list" => list = true,
             "--list-passes" => list_passes = true,
             "--help" | "-h" => {
                 print_usage();
@@ -220,16 +243,30 @@ fn main() {
         return;
     }
 
-    if selected.is_empty() {
+    // The catalogue: the static registry plus, under `--lattice`, every
+    // generated `gen:<lattice>:*` cell — one dynamic registration path,
+    // shared by listing, validation, dispatch and export.
+    let catalogue = registry_with(lattice.as_deref().map(|name| (name, gen_seed)))
+        .unwrap_or_else(|err| usage_error(&err));
+
+    if list {
+        for experiment in &catalogue {
+            println!("{}\t{}", experiment.name(), experiment.title());
+        }
+        return;
+    }
+
+    if selected.is_empty() && lattice.is_none() {
         usage_error("no scenario selected");
     }
 
-    let catalogue = registry();
-
     // Resolve aliases and reject unknown scenario names outright — a typo
     // must not silently drop one table from an otherwise valid selection.
-    let resolve = |name: &str| -> Option<&'static str> {
-        catalogue.iter().find(|e| e.name() == name || e.aliases().contains(&name)).map(|e| e.name())
+    let resolve = |name: &str| -> Option<String> {
+        catalogue
+            .iter()
+            .find(|e| e.name() == name || e.aliases().contains(&name))
+            .map(|e| e.name().to_string())
     };
     let unknown: Vec<&str> = selected
         .iter()
@@ -241,7 +278,13 @@ fn main() {
     }
 
     let all = selected.iter().any(|e| e == "all");
-    let wants = |name: &str| all || selected.iter().any(|e| resolve(e) == Some(name));
+    // `--lattice NAME` with no positional scenario runs exactly the
+    // generated cells; explicit selections behave as always.
+    let implicit_lattice = selected.is_empty();
+    let wants = |name: &str| {
+        all || (implicit_lattice && name.starts_with("gen:"))
+            || selected.iter().any(|e| resolve(e).as_deref() == Some(name))
+    };
 
     // A CSV stream is only parseable with one header row, so CSV on stdout
     // is restricted to a single scenario; multi-scenario CSV sweeps go
@@ -267,9 +310,11 @@ fn main() {
         timings.push(scenario_timing(experiment.as_ref(), &ctx, started, output.records.len()));
         let body = match ctx.format {
             ExportFormat::Text => format!("== {} ==\n{}", experiment.title(), output.text),
-            ExportFormat::Json => {
-                verified_json(export_envelope(experiment.name(), ctx.record(), output.records))
-            }
+            ExportFormat::Json => verified_json(export_envelope(
+                experiment.name(),
+                experiment.export_ctx(&ctx),
+                output.records,
+            )),
             ExportFormat::Csv => records_to_csv(&output.records),
         };
         match &out_dir {
@@ -431,7 +476,12 @@ fn run_report_command(args: &[String]) -> ! {
     if run.scenarios.is_empty() {
         runtime_error(&format!("{dir}: contains no scenario envelopes to report on"));
     }
-    let summary = RunSummary::new(&run, &report_sections());
+    // Section metadata for generated `gen:<lattice>:<cell>` scenarios is
+    // synthesized from their names, so lattice exports report with titles
+    // and paper notes just like the static registry.
+    let mut sections = report_sections();
+    sections.extend(run.scenarios.keys().filter_map(|name| grammar::report_section(name)));
+    let summary = RunSummary::new(&run, &sections);
     let body = if json {
         format!("{}\n", verified_json(summary.to_record()))
     } else {

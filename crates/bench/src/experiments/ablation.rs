@@ -13,20 +13,20 @@ use super::{canary_handling_cycles, Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Ablation;
 
 impl Experiment for Ablation {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ablation"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Extensions ablation (P-SSP vs NT / LV / OWF)"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Per-call cycles (at O0 and the configured opt level), analytical \
          attack effort and deployment requirements of P-SSP and its extensions"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "the extensions trade per-call cycles for deployment (NT needs no \
          TLS/fork changes) and disclosure resilience (only OWF), while all of \
          them keep the byte-by-byte attack at ≥ 2⁶³ expected trials.  The \

@@ -13,15 +13,15 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Effectiveness;
 
 impl Experiment for Effectiveness {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "effectiveness"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "\u{a7}VI-C: attack effectiveness (byte-by-byte, exhaustive, reuse)"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Multi-seed byte-by-byte, exhaustive and canary-reuse campaigns \
          against every P-SSP variant"
     }
@@ -30,7 +30,7 @@ impl Experiment for Effectiveness {
         &["attack"]
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "the byte-by-byte attack needs ~8·2⁷ ≈ 1024 expected requests to break \
          SSP and never breaks any P-SSP variant; exhaustive guessing is hopeless \
          against everyone at bounded budgets; only P-SSP-OWF survives canary \

@@ -17,20 +17,20 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Fig5;
 
 impl Experiment for Fig5 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "fig5"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Figure 5: runtime overhead of P-SSP vs native (SPEC-like suite)"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Per-program runtime overhead of compiler and instrumentation P-SSP \
          over native, at O0 and the configured opt level"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "P-SSP's average overhead on SPEC CPU2006 stays under ~1 % for the \
          compiler deployment, with the instrumentation deployment consistently a \
          little costlier — both orderings hold here at every opt level, and the \

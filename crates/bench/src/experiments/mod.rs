@@ -313,16 +313,17 @@ impl ScenarioOutput {
 /// mixed-fleet campaign) with a stable name, human titles and a run method
 /// consuming the shared [`ExperimentCtx`].
 pub trait Experiment: Sync {
-    /// Stable registry name (`table1`, `fig5`, `population`, …) — the CLI
-    /// argument, export file stem and `scenario` envelope field.
-    fn name(&self) -> &'static str;
+    /// Stable registry name (`table1`, `fig5`, `population`,
+    /// `gen:<lattice>:<cell>`, …) — the CLI argument, export file stem and
+    /// `scenario` envelope field.
+    fn name(&self) -> &str;
 
     /// One-line title naming the paper artefact, shown above text output.
-    fn title(&self) -> &'static str;
+    fn title(&self) -> &str;
 
     /// One-line description for usage text and the experiment table in the
     /// docs.
-    fn description(&self) -> &'static str;
+    fn description(&self) -> &str;
 
     /// Alternative CLI names (e.g. `attack` for `effectiveness`).
     fn aliases(&self) -> &'static [&'static str] {
@@ -334,7 +335,16 @@ pub trait Experiment: Sync {
     /// generated EXPERIMENTS.md.  Required, not defaulted: registering a
     /// scenario without documenting what the paper claims is exactly the
     /// doc drift the generated report exists to prevent.
-    fn paper_note(&self) -> &'static str;
+    fn paper_note(&self) -> &str;
+
+    /// The context record embedded in this scenario's export envelope.
+    /// Defaults to the shared [`ExperimentCtx::record`]; generated
+    /// scenarios override it to append their per-cell configuration, so
+    /// `harness diff` classifies cell-axis changes as configuration
+    /// divergence rather than result regressions.
+    fn export_ctx(&self, ctx: &ExperimentCtx) -> Record {
+        ctx.record()
+    }
 
     /// Runs the scenario under `ctx` and returns its rendering + records.
     fn run(&self, ctx: &ExperimentCtx) -> ScenarioOutput;
@@ -347,10 +357,11 @@ pub trait Experiment: Sync {
 /// ```
 /// use polycanary_bench::experiments::registry;
 ///
-/// let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+/// let experiments = registry();
+/// let names: Vec<&str> = experiments.iter().map(|e| e.name()).collect();
 /// assert!(names.contains(&"table1") && names.contains(&"server-attack"));
 /// // Every scenario carries the metadata the generated report needs.
-/// for experiment in registry() {
+/// for experiment in &experiments {
 ///     assert!(!experiment.description().is_empty(), "{}", experiment.name());
 ///     assert!(!experiment.paper_note().is_empty(), "{}", experiment.name());
 /// }
@@ -371,6 +382,24 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
     ]
 }
 
+/// The registry plus, when a lattice is selected, every scenario the
+/// scenario grammar generates for it — the one dynamic registration path
+/// (`harness --lattice NAME --gen-seed N`).  Generated scenarios are
+/// ordinary [`Experiment`]s named `gen:<lattice>:<cell>`, so they flow
+/// through listing, export, diff and report exactly like the static ones.
+///
+/// # Errors
+///
+/// Returns a message listing the valid lattice names when `lattice` names
+/// none of them (the harness maps this to usage-error exit status 2).
+pub fn registry_with(lattice: Option<(&str, u64)>) -> Result<Vec<Box<dyn Experiment>>, String> {
+    let mut experiments = registry();
+    if let Some((name, gen_seed)) = lattice {
+        experiments.extend(crate::grammar::generated_experiments(name, gen_seed)?);
+    }
+    Ok(experiments)
+}
+
 /// Resolves a CLI name (canonical or alias) to its registered scenario.
 pub fn find_experiment(name: &str) -> Option<Box<dyn Experiment>> {
     registry().into_iter().find(|e| e.name() == name || e.aliases().contains(&name))
@@ -386,10 +415,10 @@ pub fn report_sections() -> Vec<polycanary_analysis::summary::SectionMeta> {
     registry()
         .iter()
         .map(|experiment| polycanary_analysis::summary::SectionMeta {
-            name: experiment.name(),
-            title: experiment.title(),
-            description: experiment.description(),
-            paper_note: experiment.paper_note(),
+            name: experiment.name().to_string(),
+            title: experiment.title().to_string(),
+            description: experiment.description().to_string(),
+            paper_note: experiment.paper_note().to_string(),
         })
         .collect()
 }
@@ -400,7 +429,8 @@ mod tests {
 
     #[test]
     fn registry_names_are_unique_and_aliases_resolve() {
-        let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        let experiments = registry();
+        let names: Vec<&str> = experiments.iter().map(|e| e.name()).collect();
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();
@@ -409,6 +439,49 @@ mod tests {
         assert!(find_experiment("attack").is_some_and(|e| e.name() == "effectiveness"));
         assert!(find_experiment("population").is_some());
         assert!(find_experiment("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn generated_names_never_collide_with_static_scenarios_or_aliases() {
+        // The latent gap the grammar closed: uniqueness must hold across
+        // the *combined* catalogue — static names, static aliases and the
+        // generated `gen:*` names of every lattice — not just the static
+        // list.
+        for lattice in crate::grammar::lattices() {
+            let experiments = registry_with(Some((lattice.name(), 7)))
+                .expect("every advertised lattice generates");
+            let mut seen = std::collections::HashSet::new();
+            for experiment in &experiments {
+                assert!(
+                    seen.insert(experiment.name().to_string()),
+                    "duplicate scenario name {} in lattice {}",
+                    experiment.name(),
+                    lattice.name()
+                );
+                for alias in experiment.aliases() {
+                    assert!(
+                        seen.insert((*alias).to_string()),
+                        "alias {alias} collides in lattice {}",
+                        lattice.name()
+                    );
+                }
+            }
+            // Generated scenarios are namespaced away from static ones.
+            for experiment in &experiments[registry().len()..] {
+                assert!(
+                    experiment.name().starts_with(&format!("gen:{}:", lattice.name())),
+                    "generated scenario {} must live under gen:{}:",
+                    experiment.name(),
+                    lattice.name()
+                );
+                assert!(experiment.aliases().is_empty(), "generated scenarios have no aliases");
+            }
+        }
+        // Unknown lattices are rejected with the valid names in the message.
+        let Err(err) = registry_with(Some(("no-such-lattice", 7))) else {
+            panic!("must reject unknown lattices")
+        };
+        assert!(err.contains("no-such-lattice") && err.contains("smoke"), "{err}");
     }
 
     #[test]

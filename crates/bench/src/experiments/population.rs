@@ -20,20 +20,20 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput, StopRuleComparison};
 pub struct MixedPopulation;
 
 impl Experiment for MixedPopulation {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "population"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Mixed victim populations: partially patched fleets vs the stop rules"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Byte-by-byte campaigns against partially patched fleets (mixed \
          P-SSP/SSP), comparing SPRT, Wilson and exhaustive verdicts"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "(beyond the paper) every paper table campaigns a unanimous fleet \
          (success rate 0 or 1) where all three stop rules provably agree.  Here \
          each victim seed deterministically draws one member of a weighted \

@@ -17,20 +17,20 @@ use super::{
 pub struct ServerAttack;
 
 impl Experiment for ServerAttack {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "server-attack"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Forking-server attack: SPRT vs Wilson vs exhaustive stop rules (\u{a7}II)"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Reconnect-loop campaigns against forking servers under all three \
          stop rules, with verdict-agreement flags and server counters"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "each victim is a long-lived forking server; every byte-guess is one \
          connection served by a freshly forked worker, so the SSP break at \
          ~1000 connections per victim and the polymorphic survivals reproduce \

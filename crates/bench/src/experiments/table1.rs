@@ -15,20 +15,20 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Table1;
 
 impl Experiment for Table1 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "table1"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Table I: comparison of brute-force-attack defence tools"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Defence-tool comparison: SPRT BROP-campaign verdicts, fork-return \
          correctness, compiler overhead"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "only P-SSP combines BROP prevention, fork-correctness and near-zero \
          overhead — SSP is correct but falls to the byte-by-byte attack, RAF-SSP \
          prevents it but breaks returns through inherited frames, DynaGuard/DCR \

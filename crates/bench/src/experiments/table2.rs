@@ -13,20 +13,20 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Table2;
 
 impl Experiment for Table2 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "table2"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Table II: code expansion rate"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Binary-size expansion of compiler P-SSP and dynamic/static \
          instrumentation over a seed-sampled program set"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "compilation grows the binary by a few percent; dynamic instrumentation \
          expands nothing on disk (the rewriter patches in place against the SSP \
          baseline), while static rewriting pays the largest expansion.  Same \

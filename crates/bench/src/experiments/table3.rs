@@ -13,20 +13,20 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Table3;
 
 impl Experiment for Table3 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "table3"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Table III: web-server mean response time"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Mean response time of Apache-like and Nginx-like servers under \
          native, compiler and instrumentation builds"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "~33 ms per Apache2 request at concurrency 500, with the native, \
          compiler-P-SSP and instrumentation builds indistinguishable \
          (differences in the noise) — canary work is lost in the request path.  \

@@ -11,20 +11,20 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Table4;
 
 impl Experiment for Table4 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "table4"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Table IV: database performance"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Query latency and memory of MySQL-like and SQLite-like engines \
          under native, compiler and instrumentation builds"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "identical query times and memory across the three builds — 22.59 MB \
          resident for MySQL, 20.58 MB for SQLite, with ~3.3 ms MySQL queries and \
          ~167 ms SQLite thread-test batches.  Reproduced exactly in the memory \

@@ -15,21 +15,21 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Table5;
 
 impl Experiment for Table5 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "table5"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Table V: prologue/epilogue CPU cycles"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Canary-handling cycle cost of P-SSP and its NT / LV / OWF \
          extensions on a minimal probe function, at O0 and the configured \
          opt level"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "6 / 343 / 343 / 986 / 278 cycles for the same five configurations.  The \
          reproduction preserves the ordering and ratios at O0: P-SSP costs a \
          handful of cycles, NT and LV-2 are equal (one extra random draw), LV-4 \

@@ -10,20 +10,20 @@ use super::{Experiment, ExperimentCtx, ScenarioOutput};
 pub struct Theorem1;
 
 impl Experiment for Theorem1 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "theorem1"
     }
 
-    fn title(&self) -> &'static str {
+    fn title(&self) -> &str {
         "Theorem 1: independence of exposed canaries"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Chi-square uniformity test over the exposed half of re-randomized \
          canaries"
     }
 
-    fn paper_note(&self) -> &'static str {
+    fn paper_note(&self) -> &str {
         "the exposed half `C1` of a re-randomized canary is uniform and carries \
          no information about the TLS canary `C` (Theorem 1).  The chi-square \
          statistic over 64 bit positions stays below the 99.9 % critical value."

@@ -24,6 +24,7 @@
 //! | `population` | mixed partially-patched fleets (beyond the paper) |
 //! | `theorem1` | Theorem 1 — canary independence |
 //! | `ablation` | §IV/§VI-B — extension trade-offs |
+//! | `gen:<lattice>:<cell>` | scenario-grammar cells (`--lattice`, beyond the paper) |
 //!
 //! Every scenario consumes one [`experiments::ExperimentCtx`] (seed,
 //! sizing, worker budget, stop rule) and fans its independent units out
@@ -37,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod grammar;
 pub mod verify;
 
 pub use experiments::*;
